@@ -1,0 +1,60 @@
+"""Ablation — dominance-definition sensitivity of Table 4's membership.
+
+EXPERIMENTS.md documents that the paper's Table-4 rows 3/5 are dominated
+by rows 1/4 under the standard Pareto definition applied to the paper's
+own values (equal memory, worse accuracy and latency).  This bench
+quantifies how the front of *our* sweep changes across dominance
+relations — standard, weak (strict-in-all-objectives elimination), and
+additive epsilon-dominance — and verifies the paper's five reported rows
+behave exactly as predicted under each relation.
+"""
+
+import numpy as np
+
+from repro.core.paper import TABLE4_PARETO
+from repro.pareto import (
+    epsilon_non_dominated_mask,
+    non_dominated_mask,
+    weak_non_dominated_mask,
+)
+from repro.utils.tables import render_table
+
+
+def _to_min(records):
+    return np.array([[-r["accuracy"], r["latency_ms"], r["memory_mb"]] for r in records])
+
+
+def test_ablation_dominance_definitions(benchmark, paper_sweep):
+    values = _to_min(paper_sweep.records)
+    standard = non_dominated_mask(values)
+    weak = weak_non_dominated_mask(values)
+    eps = epsilon_non_dominated_mask(values, np.array([0.25, 0.5, 0.05]))
+
+    rows = [
+        {"relation": "standard (all<=, any<)", "front_size": int(standard.sum())},
+        {"relation": "weak (all< eliminates)", "front_size": int(weak.sum())},
+        {"relation": "epsilon (0.25%, 0.5ms, 0.05MB)", "front_size": int(eps.sum())},
+    ]
+    print()
+    print(render_table(rows, title="Ablation — front size under different dominance relations"))
+
+    # Weak dominance always yields a superset.
+    assert np.all(weak[standard])
+    assert weak.sum() >= standard.sum()
+    # Epsilon-dominance thins the standard front (or ties it).
+    assert eps.sum() <= weak.sum()
+
+    # The paper's own Table-4 rows at published (2-decimal) precision:
+    # row 2 is dominated by row 1 (its survival requires the ch5 model's
+    # sub-0.01 MB memory advantage, lost to rounding), and rows 3/5 are
+    # dominated by rows 1/4 outright; all five are *weakly* non-dominated.
+    paper_values = _to_min(TABLE4_PARETO)
+    paper_standard = non_dominated_mask(paper_values)
+    paper_weak = weak_non_dominated_mask(paper_values)
+    assert paper_standard.tolist() == [True, False, False, True, False]
+    assert paper_weak.tolist() == [True, True, True, True, True]
+    print("paper Table-4 rows under standard dominance:", paper_standard.tolist())
+    print("paper Table-4 rows under weak dominance:    ", paper_weak.tolist())
+
+    mask = benchmark(weak_non_dominated_mask, values)
+    assert mask.sum() == weak.sum()

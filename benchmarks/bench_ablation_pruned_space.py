@@ -1,0 +1,56 @@
+"""Discussion (2) — search-space pruning ablation.
+
+The paper suggests "confining the padding size to 1" to shrink the grid.
+This bench runs the pruned sweep (padding=1 only: 576 trials instead of
+1,728), verifies the Pareto front is preserved (every winner already uses
+padding=1), quantifies the saved trial budget, and benchmarks front
+extraction on the pruned result set.
+"""
+
+from repro.core.pipeline import HwNasPipeline
+from repro.nas import FailureInjector, GridSearch, SurrogateEvaluator
+from repro.nas.searchspace import SearchSpace
+from repro.pareto import ParetoAnalysis
+from repro.utils.tables import render_table
+
+
+def test_ablation_padding_pruned_space(benchmark, paper_sweep):
+    pruned_space = SearchSpace(padding=(1,))
+    assert pruned_space.total_configurations() == 576
+
+    pipeline = HwNasPipeline(
+        evaluator=SurrogateEvaluator(seed=0),
+        space=pruned_space,
+        strategy=GridSearch(pruned_space),
+        failure_injector=FailureInjector.none(),
+    )
+    pruned = pipeline.run()
+
+    full_front = paper_sweep.front_records()
+    pruned_front = pruned.front_records()
+    print()
+    rows = [
+        {"space": "full (Fig. 2)", "trials": paper_sweep.launched,
+         "front_size": len(full_front), "best_acc": round(full_front[0]["accuracy"], 2)},
+        {"space": "padding=1 pruned", "trials": pruned.launched,
+         "front_size": len(pruned_front), "best_acc": round(pruned_front[0]["accuracy"], 2)},
+    ]
+    print(render_table(rows, title="Discussion — padding=1 pruning ablation"))
+
+    # The pruning is lossless for the front: all winners use padding=1...
+    assert all(r["padding"] == 1 for r in full_front)
+    # ...so the pruned search finds the same best architecture family.
+    assert pruned_front[0]["accuracy"] >= full_front[0]["accuracy"] - 0.01
+    assert pruned_front[0]["initial_output_feature"] == 32
+    assert pruned_front[0]["kernel_size"] == 3
+    # And saves 2/3 of the trial budget.
+    assert pruned.launched * 3 == paper_sweep.launched
+
+    # Hypervolume of the pruned front matches the full front's.
+    analysis = ParetoAnalysis()
+    hv_full = analysis.hypervolume(paper_sweep.records)
+    hv_pruned = analysis.hypervolume(pruned.records)
+    assert hv_pruned >= 0.95 * hv_full
+
+    result = benchmark(analysis.run, pruned.records)
+    assert result.front_size() >= 1

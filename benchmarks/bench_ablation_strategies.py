@@ -1,0 +1,54 @@
+"""Ablation — search-strategy comparison (grid vs random vs evolution).
+
+The paper runs the exhaustive grid; NNI's other standard strategies are
+the natural budget-limited alternatives its Discussion points toward.
+This bench compares how much of the grid's best accuracy each strategy
+recovers under a 200-trial budget, and benchmarks proposal generation.
+"""
+
+from repro.nas import Experiment, GridSearch, RandomSearch, RegularizedEvolution, SurrogateEvaluator
+from repro.nas.searchspace import DEFAULT_SPACE
+from repro.utils.tables import render_table
+
+_BUDGET = 200
+
+
+def _best_accuracy(strategy) -> float:
+    experiment = Experiment(
+        evaluator=SurrogateEvaluator(seed=0),
+        strategy=strategy,
+        input_hw=(100, 100),
+    )
+    result = experiment.run(budget=_BUDGET)
+    return result.store.best_by_accuracy().accuracy
+
+
+def test_ablation_search_strategies(benchmark, paper_sweep):
+    grid_best_full = paper_sweep.store.best_by_accuracy().accuracy
+
+    results = {
+        "grid (first 200 of 1,728)": _best_accuracy(GridSearch(DEFAULT_SPACE)),
+        "random (200)": _best_accuracy(RandomSearch(DEFAULT_SPACE, seed=1)),
+        "evolution (200)": _best_accuracy(
+            RegularizedEvolution(DEFAULT_SPACE, population_size=24, tournament_size=8, seed=1)
+        ),
+    }
+    rows = [
+        {"strategy": name, "best_accuracy": round(acc, 2),
+         "gap_to_full_grid": round(grid_best_full - acc, 2)}
+        for name, acc in results.items()
+    ]
+    print()
+    print(render_table(rows, title=f"Ablation — best accuracy under a {_BUDGET}-trial budget "
+                                   f"(full grid best: {grid_best_full:.2f})"))
+
+    # Adaptive strategies close most of the gap the truncated grid leaves.
+    assert results["evolution (200)"] >= results["grid (first 200 of 1,728)"]
+    assert results["evolution (200)"] >= grid_best_full - 1.5
+    assert results["random (200)"] >= grid_best_full - 3.0
+
+    def propose_batch():
+        return list(RandomSearch(DEFAULT_SPACE, seed=2).propose(_BUDGET))
+
+    configs = benchmark(propose_batch)
+    assert len(configs) == _BUDGET

@@ -1,0 +1,52 @@
+"""Discussion (1) — profiling the NAS workload (Nsight substitute).
+
+The paper reports NNI wall-times of 9h20m-29h per input combination and
+proposes profiling to tune the experiments.  This bench profiles the real
+(NumPy) training path per layer, confirms compute concentrates where the
+search space acts (stem + early stages), and benchmarks one real training
+step — the unit whose cost dominates the paper's 38-hour budget.
+"""
+
+import numpy as np
+
+from repro.data.dataset import DrainageCrossingDataset
+from repro.nas.config import ModelConfig
+from repro.nn.loss import CrossEntropyLoss
+from repro.nn.optim import SGD
+from repro.nn.resnet import build_model
+from repro.profiling import profile_model, profile_table
+from repro.tensor.tensor import Tensor
+
+
+def test_discussion_layer_profile(benchmark):
+    config = ModelConfig(channels=5, batch=8, kernel_size=3, stride=2, padding=1,
+                         pool_choice=0, kernel_size_pool=3, stride_pool=2,
+                         initial_output_feature=32)
+    model = build_model(config, seed=0)
+    profiles = profile_model(model, batch=4, input_hw=(48, 48), repeats=2)
+    print()
+    print(profile_table(profiles, title="Discussion — per-stage forward profile (winner config)"))
+
+    by_name = {p.name: p for p in profiles}
+    assert set(by_name) == {"stem", "layer1", "layer2", "layer3", "layer4", "head"}
+    # With a stride-2 stem and no pooling, the early stages carry most FLOPs.
+    early = by_name["layer1"].flops + by_name["layer2"].flops
+    late = by_name["layer3"].flops + by_name["layer4"].flops
+    assert early > late
+
+    # Benchmark: one full real training step (forward+backward+update).
+    dataset = DrainageCrossingDataset(channels=5, size=32, samples_per_class=4,
+                                      regions=["nebraska"], seed=0)
+    x, y = dataset.batch(np.arange(8))
+    loss_fn = CrossEntropyLoss()
+    optimizer = SGD(model.parameters(), lr=0.01, momentum=0.9)
+
+    def step():
+        optimizer.zero_grad()
+        loss = loss_fn(model(Tensor(x)), y)
+        loss.backward()
+        optimizer.step()
+        return loss.item()
+
+    loss_value = benchmark(step)
+    assert np.isfinite(loss_value)

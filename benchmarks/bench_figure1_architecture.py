@@ -1,0 +1,37 @@
+"""Figure 1 — the ResNet-18 architecture with 5- and 7-channel inputs.
+
+Regenerates the layer-stack description (stem -> four residual stages ->
+pool -> FC -> binary output) for both channel stacks, and benchmarks
+model tracing.
+"""
+
+from repro.core.figures import architecture_figure
+from repro.graph.trace import trace_model
+from repro.nn.resnet import build_baseline_resnet18
+from repro.utils.tables import render_table
+
+
+def test_figure1_architecture(benchmark):
+    for channels in (5, 7):
+        fig = architecture_figure(build_baseline_resnet18(in_channels=channels))
+        print()
+        print(f"Figure 1 — input stack ({channels} channels): "
+              + (", ".join(fig["channels_5"] if channels == 5 else fig["channels_7"])))
+        print(render_table(fig["layers"][:8] + fig["layers"][-3:],
+                           title=f"Figure 1 — layer stack excerpt ({channels}ch), "
+                                 f"{fig['total_params']:,} params"))
+        ops = [layer["op"] for layer in fig["layers"]]
+        assert ops[0] == "input" and ops[-1] == "output"
+        assert ops.count("add") == 8  # four stages x two residual blocks
+        assert "fc" in ops and "global_avg_pool" in ops
+        # Binary drainage-crossing output.
+        assert fig["layers"][-1]["out_shape"] == "2"
+
+    # 7-channel model only grows by the extra stem filters.
+    params5 = architecture_figure(build_baseline_resnet18(in_channels=5))["total_params"]
+    params7 = architecture_figure(build_baseline_resnet18(in_channels=7))["total_params"]
+    assert params7 - params5 == 2 * 64 * 7 * 7
+
+    model = build_baseline_resnet18(in_channels=5)
+    graph = benchmark(trace_model, model, (100, 100))
+    assert len(graph) > 50

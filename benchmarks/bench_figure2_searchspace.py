@@ -1,0 +1,31 @@
+"""Figure 2 — the NNI search space.
+
+Regenerates the knob/choice structure, the 288-per-combination and
+1,728-total cardinalities, and the no-pool uniqueness accounting, and
+benchmarks full grid enumeration.
+"""
+
+from repro.core.figures import searchspace_figure
+from repro.core.paper import CONFIGS_PER_COMBINATION, TOTAL_TRIALS
+from repro.nas.searchspace import DEFAULT_SPACE
+from repro.utils.tables import render_table
+
+
+def test_figure2_search_space(benchmark):
+    fig = searchspace_figure()
+    rows = [{"knob": k, "choices": str(v)} for k, v in fig["knobs"].items()]
+    print()
+    print(render_table(rows, title="Figure 2 — search-space knobs"))
+    print(f"architectures per input combination: {fig['architectures_per_combination']} (paper: 288)")
+    print(f"unique architectures per combination: {fig['unique_architectures_per_combination']}")
+    print(f"total configurations: {fig['total_configurations']} (paper launches: 1,728)")
+
+    assert fig["architectures_per_combination"] == CONFIGS_PER_COMBINATION
+    assert fig["total_configurations"] == TOTAL_TRIALS
+    assert len(fig["input_combinations"]) == 6
+    # Section 3.2's coincidence note: 288 raw -> 180 distinct networks.
+    assert fig["unique_architectures_per_combination"] == 180
+
+    configs = benchmark(DEFAULT_SPACE.configs)
+    assert len(configs) == TOTAL_TRIALS
+    assert len({c.architecture_key() for c in configs}) == 2 * 180

@@ -1,0 +1,44 @@
+"""Figure 3 — the 3-D Pareto scatter.
+
+Regenerates the normalized 3-objective point cloud with the red
+(non-dominated) markers and checks its structure; benchmarks the
+normalization of the full cloud.
+"""
+
+import numpy as np
+
+from repro.core.figures import pareto_scatter_figure
+from repro.pareto.normalize import normalize_minmax
+from repro.utils.tables import render_table
+
+
+def test_figure3_scatter_data(benchmark, paper_sweep):
+    fig = pareto_scatter_figure(paper_sweep)
+    print()
+    print(f"Figure 3 — {fig['n_points']} points, {fig['n_front']} non-dominated (red)")
+    from repro.core.plots import ascii_scatter
+
+    print(ascii_scatter(fig["points"][:, 1], fig["points"][:, 0], fig["front_mask"],
+                        x_label="latency (ms)", y_label="accuracy (%)"))
+    front_points = fig["points"][fig["front_mask"]]
+    rows = [
+        {"accuracy": round(p[0], 2), "latency_ms": round(p[1], 2), "memory_mb": round(p[2], 2)}
+        for p in front_points
+    ]
+    print(render_table(rows, title="Figure 3 — red (non-dominated) points"))
+
+    assert fig["n_points"] == 1717
+    assert fig["axes"] == ["accuracy", "latency_ms", "memory_mb"]
+    assert 2 <= fig["n_front"] <= 10
+    # Normalization maps the cloud into the unit cube with extremes touched.
+    norm = fig["points_normalized"]
+    np.testing.assert_allclose(norm.min(axis=0), 0.0, atol=1e-12)
+    np.testing.assert_allclose(norm.max(axis=0), 1.0, atol=1e-12)
+    # The front sits in the cheap corner: low normalized latency/memory.
+    front_norm = norm[fig["front_mask"]]
+    assert front_norm[:, 1].max() < 0.05
+    assert front_norm[:, 2].max() < 0.05
+    assert front_norm[:, 0].max() > 0.9  # and includes the accuracy maximum
+
+    out = benchmark(normalize_minmax, fig["points"])
+    assert out.shape == fig["points"].shape

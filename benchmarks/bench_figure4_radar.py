@@ -1,0 +1,35 @@
+"""Figure 4 — radar plots of the non-dominated solutions.
+
+Regenerates the normalized per-axis polygons (objectives + configuration
+knobs) for every front member, with the paper's pooled/unpooled
+grouping, and benchmarks radar-data construction.
+"""
+
+from repro.core.figures import radar_figure
+from repro.utils.tables import render_table
+
+
+def test_figure4_radar_data(benchmark, paper_sweep):
+    solutions = radar_figure(paper_sweep)
+    print()
+    rows = []
+    for sol in solutions:
+        row = {"solution": sol.label, "group": "pool" if sol.pooled else "no-pool"}
+        row.update({axis: round(v, 2) for axis, v in zip(sol.axes, sol.values)})
+        rows.append(row)
+    print(render_table(rows, title="Figure 4 — radar axes per non-dominated solution"))
+
+    assert solutions
+    axes = solutions[0].axes
+    assert axes[:3] == ["accuracy", "latency_ms", "memory_mb"]
+    assert "kernel_size" in axes and "initial_output_feature" in axes
+
+    # The paper's common traits normalize to constant axes across winners:
+    # identical kernel/stride/padding/width -> 0.5 after min-max.
+    for axis in ("kernel_size", "stride", "padding", "initial_output_feature"):
+        idx = axes.index(axis)
+        values = {round(sol.values[idx], 6) for sol in solutions}
+        assert len(values) == 1, f"{axis} should be shared by all winners"
+
+    result = benchmark(radar_figure, paper_sweep)
+    assert len(result) == len(solutions)

@@ -1,0 +1,102 @@
+"""Substrate performance benchmarks (pytest-benchmark timings only).
+
+These cover the hot paths the reproduction rests on: im2col convolution
+forward/backward, full-model inference, onnxlite export, 4-device latency
+prediction, front extraction at scale, and dataset synthesis.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.trace import trace_model
+from repro.latency.predictors import predict_all_devices
+from repro.nn.resnet import SearchableResNet18
+from repro.onnxlite.export import export_model
+from repro.pareto.dominance import non_dominated_mask, non_dominated_mask_kung
+from repro.tensor import Tensor, conv2d
+from repro.tensor.tensor import no_grad
+
+
+@pytest.fixture(scope="module")
+def winner_model():
+    return SearchableResNet18(in_channels=5, kernel_size=3, stride=2, padding=1,
+                              pool_choice=0, initial_output_feature=32)
+
+
+class TestConvPerformance:
+    def test_conv2d_forward(self, benchmark):
+        x = Tensor(np.random.default_rng(0).normal(size=(8, 32, 50, 50)).astype(np.float32))
+        w = Tensor(np.random.default_rng(1).normal(size=(32, 32, 3, 3)).astype(np.float32) * 0.1)
+
+        def forward():
+            with no_grad():
+                return conv2d(x, w, None, stride=1, padding=1)
+
+        out = benchmark(forward)
+        assert out.shape == (8, 32, 50, 50)
+
+    def test_conv2d_backward(self, benchmark):
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 16, 32, 32)).astype(np.float32),
+                   requires_grad=True)
+        w = Tensor(np.random.default_rng(1).normal(size=(16, 16, 3, 3)).astype(np.float32) * 0.1,
+                   requires_grad=True)
+
+        def train_step():
+            x.zero_grad()
+            w.zero_grad()
+            conv2d(x, w, None, stride=1, padding=1).sum().backward()
+            return w.grad
+
+        grad = benchmark(train_step)
+        assert grad.shape == w.shape
+
+
+class TestModelPerformance:
+    def test_inference_single_image(self, benchmark, winner_model):
+        winner_model.eval()
+        x = Tensor(np.random.default_rng(0).normal(size=(1, 5, 100, 100)).astype(np.float32))
+
+        def infer():
+            with no_grad():
+                return winner_model(x)
+
+        out = benchmark(infer)
+        assert out.shape == (1, 2)
+
+    def test_trace_and_predict_four_devices(self, benchmark, winner_model):
+        def run():
+            graph = trace_model(winner_model, (100, 100))
+            return predict_all_devices(graph)
+
+        summary = benchmark(run)
+        assert len(summary.per_device_ms) == 4
+
+    def test_onnxlite_export(self, benchmark, winner_model):
+        blob = benchmark(export_model, winner_model, (100, 100))
+        assert len(blob) > 10_000_000  # ~11 MB of weights
+
+
+class TestParetoPerformance:
+    @pytest.fixture(scope="class")
+    def cloud(self):
+        rng = np.random.default_rng(0)
+        return rng.normal(size=(5000, 3))
+
+    def test_naive_front(self, benchmark, cloud):
+        mask = benchmark(non_dominated_mask, cloud)
+        assert mask.any()
+
+    def test_kung_front(self, benchmark, cloud):
+        mask = benchmark(non_dominated_mask_kung, cloud)
+        assert mask.any()
+
+
+class TestDataPerformance:
+    def test_dataset_batch_generation(self, benchmark):
+        from repro.data.dataset import DrainageCrossingDataset
+
+        dataset = DrainageCrossingDataset(channels=7, size=100, samples_per_class=4,
+                                          regions=["california"], seed=0, cache=False)
+        indices = np.arange(8)
+        x, y = benchmark(dataset.batch, indices)
+        assert x.shape == (8, 7, 100, 100)

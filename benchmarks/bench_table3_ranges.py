@@ -1,0 +1,43 @@
+"""Table 3 — objective value ranges over the valid sweep outcomes.
+
+Reproduces the min/max of all three objectives over the 1,717 valid
+trials and benchmarks the 3-objective Pareto analysis itself.
+"""
+
+from repro.core.paper import TABLE3_RANGES, TOTAL_TRIALS, VALID_OUTCOMES
+from repro.core.report import objective_ranges_table
+from repro.pareto import ParetoAnalysis
+from repro.utils.tables import render_table
+
+
+def test_table3_objective_ranges(benchmark, paper_sweep):
+    assert paper_sweep.launched == TOTAL_TRIALS
+    assert paper_sweep.valid_outcomes == VALID_OUTCOMES
+
+    ranges = paper_sweep.pareto.ranges()
+    rows = []
+    for key, (paper_lo, paper_hi) in TABLE3_RANGES.items():
+        lo, hi = ranges[key]
+        rows.append({"objective": key, "min": round(lo, 2), "max": round(hi, 2),
+                     "paper_min": paper_lo, "paper_max": paper_hi})
+    print()
+    print(render_table(rows, title="Table 3 — objective value ranges (ours vs paper)"))
+
+    acc_lo, acc_hi = ranges["accuracy"]
+    lat_lo, lat_hi = ranges["latency_ms"]
+    mem_lo, mem_hi = ranges["memory_mb"]
+    # Accuracy range: high-90s top, mid/high-70s bottom.
+    assert abs(acc_hi - 96.13) < 1.5
+    assert abs(acc_lo - 76.19) < 3.0
+    # Latency range: winners ~8 ms, worst case ~250 ms.
+    assert abs(lat_lo - 8.13) < 1.0
+    assert abs(lat_hi - 249.56) / 249.56 < 0.10
+    # Memory range: exactly the f=32 vs f=64 parameter footprints.
+    assert abs(mem_lo - 11.18) < 0.1
+    assert abs(mem_hi - 44.69) < 0.2
+
+    # Benchmark: full 3-objective analysis over all 1,717 records.
+    analysis = ParetoAnalysis()
+    records = paper_sweep.records
+    result = benchmark(analysis.run, records)
+    assert result.front_size() >= 1

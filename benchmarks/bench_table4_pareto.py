@@ -1,0 +1,61 @@
+"""Table 4 — the non-dominated solutions.
+
+Reproduces the Pareto-optimal set of the sweep and checks the structural
+claims the paper draws from it (Figure 4 commonalities): every winner
+uses the smallest kernel, stride 2, minimal padding and the smallest
+initial feature width, at ~8 ms / ~11 MB with accuracy at or above the
+stock ResNet-18.
+
+Note on membership: the paper lists five solutions, but its rows 3 and 5
+are dominated by rows 1 and 4 under the standard dominance definition
+applied to the table's own values (equal memory, worse accuracy *and*
+latency) — see EXPERIMENTS.md.  The reproduction therefore asserts the
+structural traits and the presence of the paper's two strongest winners,
+not an exact row-set match; the per-combination analysis below recovers
+pooled solutions analogous to the paper's rows 3/5.
+"""
+
+from repro.core.paper import TABLE4_PARETO
+from repro.core.report import pareto_table, per_combination_fronts
+from repro.pareto.dominance import non_dominated_mask_kung
+from repro.utils.tables import render_table
+
+
+def test_table4_non_dominated_solutions(benchmark, paper_sweep):
+    rows = pareto_table(paper_sweep)
+    print()
+    print(render_table(rows, title=f"Table 4 — non-dominated solutions (ours: {len(rows)}, paper: 5)"))
+    print(render_table(TABLE4_PARETO, title="Table 4 — paper's reported rows"))
+
+    assert 2 <= len(rows) <= 10  # a small, selective front, like the paper's 5
+
+    # The Figure-4 commonalities hold for every winner.
+    for row in rows:
+        assert row["initial_output_feature"] == 32
+        assert row["kernel_size"] == 3
+        assert row["stride"] == 2
+        assert row["padding"] == 1
+        assert abs(row["memory_mb"] - 11.18) < 0.1
+
+    # The paper's strongest winner (7ch/b16/no-pool) tops our front too.
+    best = rows[0]
+    assert (best["channels"], best["batch"], best["pool_choice"]) == (7, 16, 0)
+    assert abs(best["accuracy"] - 96.13) < 1.0
+    assert abs(best["latency_ms"] - 8.19) < 1.0
+
+    # The ch5 analogue of paper row 2 is present.
+    assert any(r["channels"] == 5 and r["pool_choice"] == 0 for r in rows)
+
+    # Per-combination fronts recover pooled winners (paper rows 3/5 analogues).
+    fronts = per_combination_fronts(paper_sweep)
+    pooled_members = [
+        r for rows_ in fronts.values() for r in rows_ if r["pool_choice"] == 1
+    ]
+    assert pooled_members, "per-combination analysis should surface pooled solutions"
+    assert any(abs(r["latency_ms"] - 18.3) < 3.0 for r in pooled_members)
+
+    # Benchmark: front extraction (Kung) over the full objective matrix.
+    values = paper_sweep.pareto.values.copy()
+    values[:, 0] = -values[:, 0]  # maximize accuracy
+    mask = benchmark(non_dominated_mask_kung, values)
+    assert mask.sum() == len(rows)

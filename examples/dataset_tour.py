@@ -1,0 +1,66 @@
+"""Tour of the synthetic drainage-crossing dataset (Section 2.1 substitute).
+
+Generates scenes from each of the paper's four study regions, reports the
+terrain/spectral statistics that make the classification task real
+(culvert signatures, riparian NDVI, in-channel NDWI), and verifies the
+Table-1 sample accounting.
+
+Run:  python examples/dataset_tour.py
+"""
+
+import numpy as np
+
+from repro.data import REGIONS, ndvi, ndwi, total_sample_count
+from repro.data.orthophoto import render_orthophoto
+from repro.data.terrain import generate_scene
+from repro.utils.tables import render_table
+
+
+def main() -> None:
+    print(f"total dataset size (Table 1): {total_sample_count()} patches\n")
+
+    rows = []
+    for key, region in REGIONS.items():
+        rng = np.random.default_rng(hash(key) % 2**32)
+        positive = generate_scene(100, rng, region.terrain, crossing=True)
+        negative = generate_scene(100, rng, region.terrain, crossing=False)
+        ortho = render_orthophoto(positive, rng)
+        red, green, _blue, nir = ortho
+        veg_index = ndvi(nir, red)
+        water_index = ndwi(green, nir)
+        rows.append(
+            {
+                "region": region.name,
+                "true/false": f"{region.true_samples}/{region.false_samples}",
+                "relief_m": round(float(positive.dem.max() - positive.dem.min()), 2),
+                "channel_px": int(positive.channel_mask.sum()),
+                "road_px": int(positive.road_mask.sum()),
+                "water_px": int(positive.water_mask.sum()),
+                "mean_ndvi": round(float(veg_index.mean()), 3),
+                "max_ndwi": round(float(water_index.max()), 3),
+                "neg_has_both": bool(negative.channel_mask.any() and negative.road_mask.any()),
+            }
+        )
+    print(render_table(rows, title="Per-region scene statistics (100x100 patches)"))
+
+    # The culvert signature: crossings lift the DEM where the road fills
+    # over the channel.
+    region = REGIONS["california"]
+    rng = np.random.default_rng(7)
+    scene = generate_scene(100, rng, region.terrain, crossing=True)
+    overlap = scene.channel_mask & scene.road_mask
+    channel_only = scene.channel_mask & ~scene.road_mask
+    if overlap.any() and channel_only.any():
+        lift = float(scene.dem[overlap].mean() - scene.dem[channel_only].mean())
+        print(f"culvert signature (California scene): embankment fill lifts the "
+              f"channel bed by {lift:.2f} m at the crossing")
+
+    # Channel stacks available to the models.
+    from repro.data.dataset import CHANNEL_NAMES_5, CHANNEL_NAMES_7
+
+    print(f"5-channel stack: {', '.join(CHANNEL_NAMES_5)}")
+    print(f"7-channel stack: {', '.join(CHANNEL_NAMES_7)}")
+
+
+if __name__ == "__main__":
+    main()

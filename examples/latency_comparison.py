@@ -1,0 +1,60 @@
+"""Compare the four device predictors across architectures (Section 3.3).
+
+For a spectrum of search-space configurations this prints per-device
+latency, the cross-device mean/std the paper optimizes, and a per-kernel
+cost breakdown for the winner on the most- and least-predictable devices
+— illustrating why the Myriad VPU's stand-alone pooling stage dominates
+pooled models' latency.
+
+Run:  python examples/latency_comparison.py
+"""
+
+from repro.graph import trace_model
+from repro.latency import extract_kernels, get_predictor, list_predictors, predict_all_devices
+from repro.nas.config import ModelConfig
+from repro.nn import build_model
+from repro.utils.tables import render_table
+
+CONFIGS = {
+    "winner (no pool, f32)": dict(kernel_size=3, stride=2, padding=1, pool_choice=0,
+                                  kernel_size_pool=3, stride_pool=2, initial_output_feature=32),
+    "winner + pooling": dict(kernel_size=3, stride=2, padding=1, pool_choice=1,
+                             kernel_size_pool=3, stride_pool=2, initial_output_feature=32),
+    "stock ResNet-18": dict(kernel_size=7, stride=2, padding=3, pool_choice=1,
+                            kernel_size_pool=3, stride_pool=2, initial_output_feature=64),
+    "worst case (s1, f64)": dict(kernel_size=7, stride=1, padding=3, pool_choice=0,
+                                 kernel_size_pool=3, stride_pool=2, initial_output_feature=64),
+}
+
+
+def main() -> None:
+    rows = []
+    graphs = {}
+    for label, arch in CONFIGS.items():
+        config = ModelConfig(channels=7, batch=16, **arch)
+        graph = trace_model(build_model(config), input_hw=(100, 100))
+        graphs[label] = graph
+        summary = predict_all_devices(graph)
+        row = {"model": label}
+        row.update({k: round(v, 2) for k, v in summary.per_device_ms.items()})
+        row["mean"] = round(summary.mean_ms, 2)
+        row["std"] = round(summary.std_ms, 2)
+        rows.append(row)
+    print(render_table(rows, title="Predicted latency (ms) across the four nn-Meter-style devices"))
+
+    # Per-kernel breakdown of the pooled winner on two contrasting devices.
+    kernels = extract_kernels(graphs["winner + pooling"])
+    for device in ("adreno640gpu", "myriadvpu"):
+        predictor = get_predictor(device)
+        costs = predictor.predict_kernels(kernels)
+        top = sorted(zip(kernels, costs), key=lambda kc: -kc[1])[:6]
+        print(render_table(
+            [{"kernel": k.name, "type": k.kernel_type, "ms": round(c, 3)} for k, c in top],
+            title=f"Top kernels on {device} (total {sum(costs):.2f} ms)",
+        ))
+
+    print(f"available predictors: {list_predictors()}")
+
+
+if __name__ == "__main__":
+    main()

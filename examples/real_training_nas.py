@@ -1,0 +1,67 @@
+"""The honest path: NAS with *real* training (no surrogate).
+
+Runs a miniature grid over four architectures, evaluating each with the
+paper's actual protocol — build model from config, train with SGD,
+score with k-fold cross-validation on synthetic drainage patches —
+then combines the measured accuracy with predicted latency and onnxlite
+memory into a Pareto front.  This is the exact pipeline the paper runs
+on an A100 for 38+ hours, scaled to a couple of minutes of CPU.
+
+Run:  python examples/real_training_nas.py
+"""
+
+import time
+
+from repro.nas import Experiment, GridSearch, TrainingEvaluator
+from repro.nas.searchspace import SearchSpace
+from repro.pareto import ParetoAnalysis
+from repro.utils.tables import render_table
+
+# Four contrasting architectures: {pool, no-pool} x {f32, f64}.
+SPACE = SearchSpace(
+    kernel_size=(3,), stride=(2,), padding=(1,),
+    pool_choice=(0, 1), kernel_size_pool=(3,), stride_pool=(2,),
+    initial_output_feature=(32, 64),
+    channels=(5,), batches=(8,),
+)
+
+
+def main() -> None:
+    evaluator = TrainingEvaluator(
+        samples_per_class=6,
+        patch_size=28,
+        epochs=3,
+        k=3,
+        lr=0.02,
+        regions=["nebraska", "california"],
+        seed=1,
+    )
+    experiment = Experiment(
+        evaluator=evaluator,
+        strategy=GridSearch(SPACE),
+        input_hw=(100, 100),
+        progress=lambda done, total, rec: print(
+            f"  trial {done}/{total}: acc={rec.accuracy:.1f}% "
+            f"(folds {[round(a, 1) for a in rec.fold_accuracies]}) "
+            f"lat={rec.latency_ms:.2f}ms mem={rec.memory_mb:.2f}MB "
+            f"[{rec.duration_s:.1f}s]"
+        ),
+    )
+    budget = SPACE.total_configurations()
+    print(f"real-training NAS over {budget} architectures "
+          f"(5-fold protocol scaled to k=3, 3 epochs)...")
+    started = time.perf_counter()
+    result = experiment.run(budget=budget)
+    print(f"done in {time.perf_counter() - started:.1f}s\n")
+
+    records = result.store.analysis_records()
+    front = ParetoAnalysis().front_records(records)
+    columns = ("accuracy", "latency_ms", "memory_mb", "pool_choice", "initial_output_feature")
+    print(render_table(
+        [{k: r[k] for k in columns} for r in sorted(front, key=lambda r: -r["accuracy"])],
+        title=f"Pareto front from real training ({len(front)} of {len(records)})",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Train → export → quantize → deploy: the full edge-deployment story.
+
+Trains the paper's winning architecture on synthetic drainage patches,
+exports it to the onnxlite format (the paper's memory objective), loads
+the file with the standalone deployment runtime (no shared code with the
+training stack), verifies prediction agreement, and finally applies int8
+post-training quantization to show the remaining deployment headroom.
+
+Run:  python examples/train_export_deploy.py
+"""
+
+import numpy as np
+
+from repro.data import DrainageCrossingDataset, train_test_split_indices
+from repro.deploy import load_runtime
+from repro.nas.crossval import TrainSettings, train_one_model
+from repro.nn import SearchableResNet18
+from repro.onnxlite import export_model, model_size_mb
+from repro.quant import fake_quantize_model, quantized_size_mb
+from repro.tensor import Tensor, no_grad
+
+
+def main() -> None:
+    # 1. Train the Table-4 winner at small scale.
+    dataset = DrainageCrossingDataset(channels=5, size=32, samples_per_class=10,
+                                      regions=["nebraska", "california"], seed=3)
+    train_idx, test_idx = train_test_split_indices(len(dataset), 0.25, seed=0)
+    model = SearchableResNet18(in_channels=5, kernel_size=3, stride=2, padding=1,
+                               pool_choice=0, initial_output_feature=32, seed=0)
+    print(f"training on {train_idx.size} patches...")
+    train_one_model(model, dataset, train_idx, batch_size=8,
+                    settings=TrainSettings(epochs=5, lr=0.02), rng_seed=0)
+
+    x_test, y_test = dataset.batch(test_idx)
+    model.eval()
+    with no_grad():
+        reference = model(Tensor(x_test)).data
+    ref_acc = 100.0 * float((reference.argmax(axis=1) == y_test).mean())
+    print(f"training-stack test accuracy: {ref_acc:.1f}%")
+
+    # 2. Export (the paper's memory objective is this file's size).
+    blob = export_model(model, input_hw=(32, 32), path="winner.onxl")
+    print(f"exported winner.onxl: {len(blob) / 1e6:.2f} MB "
+          f"(model_size_mb reports {model_size_mb(model, (32, 32)):.2f})")
+
+    # 3. Deploy with the standalone runtime and verify agreement.
+    runtime = load_runtime("winner.onxl")
+    print(f"loaded {runtime!r}")
+    deployed = runtime.run(x_test)
+    max_delta = float(np.abs(deployed - reference).max())
+    agree = float((deployed.argmax(axis=1) == reference.argmax(axis=1)).mean())
+    print(f"deployment check: max logit delta {max_delta:.2e}, "
+          f"prediction agreement {100 * agree:.1f}%")
+
+    # 4. Quantized export: an int8 .onxl file the runtime can also load.
+    from repro.quant import export_quantized_model
+
+    int8_blob = export_quantized_model(model, input_hw=(32, 32), path="winner_int8.onxl")
+    int8_runtime = load_runtime("winner_int8.onxl")
+    int8_pred = int8_runtime.predict(x_test)
+    int8_acc = 100.0 * float((int8_pred == y_test).mean())
+    print(f"int8 export: winner_int8.onxl {len(int8_blob) / 1e6:.2f} MB "
+          f"({len(blob) / len(int8_blob):.1f}x smaller), "
+          f"deployed int8 accuracy {int8_acc:.1f}% (fp32: {ref_acc:.1f}%)")
+
+    # 5. In-place fake-quant view of the same storage budget.
+    fake_quantize_model(model, dtype="int8")
+    print(f"fake-quant storage estimate: {quantized_size_mb(model):.2f} MB "
+          f"(fp32 {model_size_mb(model, (32, 32)):.2f} MB)")
+
+
+if __name__ == "__main__":
+    main()

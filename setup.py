@@ -1,0 +1,7 @@
+"""Legacy setup shim so `pip install -e . --no-use-pep517` works offline
+(the sandbox has setuptools but not the `wheel` package, which the PEP-517
+editable path requires)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""repro — Pareto optimization of CNN models via hardware-aware NAS.
+
+A from-scratch, NumPy-based reproduction of "Pareto Optimization of CNN
+Models via Hardware-Aware Neural Architecture Search for Drainage Crossing
+Classification on Resource-Limited Devices" (SC-W 2023), including every
+substrate the paper depends on: a CNN training engine, a synthetic
+drainage-crossing dataset, an NNI-style NAS framework, nn-Meter-style
+kernel latency predictors, ONNX-style model serialization and 3-objective
+Pareto analysis.
+
+Quickstart::
+
+    from repro import SearchableResNet18, get_predictor, model_size_mb
+
+    model = SearchableResNet18(in_channels=7, kernel_size=3, stride=2,
+                               padding=1, pool_choice=0,
+                               initial_output_feature=32)
+    latency = get_predictor("cortexA76cpu").predict_model(model)
+    memory = model_size_mb(model)
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module map.
+"""
+
+from repro.nn.resnet import SearchableResNet18, build_baseline_resnet18, build_model
+from repro.nas.config import ModelConfig
+from repro.nas.searchspace import DEFAULT_SPACE, SearchSpace
+from repro.nas.surrogate import SurrogateEvaluator
+from repro.nas.evaluators import TrainingEvaluator
+from repro.nas.experiment import Experiment
+from repro.latency.registry import get_predictor, list_predictors
+from repro.latency.predictors import predict_all_devices
+from repro.onnxlite.size import model_size_mb
+from repro.data.dataset import DrainageCrossingDataset
+from repro.pareto.analysis import ParetoAnalysis
+from repro.core.pipeline import HwNasPipeline, run_paper_sweep
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SearchableResNet18",
+    "build_baseline_resnet18",
+    "build_model",
+    "ModelConfig",
+    "SearchSpace",
+    "DEFAULT_SPACE",
+    "SurrogateEvaluator",
+    "TrainingEvaluator",
+    "Experiment",
+    "get_predictor",
+    "list_predictors",
+    "predict_all_devices",
+    "model_size_mb",
+    "DrainageCrossingDataset",
+    "ParetoAnalysis",
+    "HwNasPipeline",
+    "run_paper_sweep",
+    "__version__",
+]

@@ -1,0 +1,265 @@
+"""Command-line interface: ``repro-nas`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``space``
+    Print the search-space structure and cardinality (Figure 2).
+``sweep``
+    Run a NAS sweep (surrogate accuracy) and write trials to JSONL.
+``pareto``
+    Read a trial JSONL and print the non-dominated solutions (Table 4).
+``baseline``
+    Evaluate the stock ResNet-18 on the six input variants (Table 5).
+``latency``
+    Predict one configuration's latency on all four device profiles.
+``profile``
+    Per-layer wall-time profile of one configuration (real forward pass).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.utils.logging import configure, get_logger
+from repro.utils.tables import render_table
+
+_LOG = get_logger("cli")
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--channels", type=int, default=5, choices=(5, 7))
+    parser.add_argument("--batch", type=int, default=16)
+    parser.add_argument("--kernel-size", type=int, default=3)
+    parser.add_argument("--stride", type=int, default=2)
+    parser.add_argument("--padding", type=int, default=1)
+    parser.add_argument("--pool-choice", type=int, default=0, choices=(0, 1))
+    parser.add_argument("--kernel-size-pool", type=int, default=3)
+    parser.add_argument("--stride-pool", type=int, default=2)
+    parser.add_argument("--initial-output-feature", type=int, default=32)
+
+
+def _config_from_args(args: argparse.Namespace):
+    from repro.nas.config import ModelConfig
+
+    return ModelConfig(
+        channels=args.channels,
+        batch=args.batch,
+        kernel_size=args.kernel_size,
+        stride=args.stride,
+        padding=args.padding,
+        pool_choice=args.pool_choice,
+        kernel_size_pool=args.kernel_size_pool,
+        stride_pool=args.stride_pool,
+        initial_output_feature=args.initial_output_feature,
+    )
+
+
+def _cmd_space(args: argparse.Namespace) -> int:
+    from repro.core.figures import searchspace_figure
+
+    fig = searchspace_figure()
+    for knob, choices in fig["knobs"].items():
+        print(f"{knob:24s} {choices}")
+    print(f"architectures/combination: {fig['architectures_per_combination']}")
+    print(f"unique architectures:      {fig['unique_architectures_per_combination']}")
+    print(f"total configurations:      {fig['total_configurations']}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.nas import Experiment, FailureInjector, GridSearch, SurrogateEvaluator, TrialStore
+    from repro.nas.searchspace import DEFAULT_SPACE
+
+    store = TrialStore(args.out)
+    injector = FailureInjector.paper_mode(seed=args.seed) if args.paper_mode else FailureInjector.none()
+    experiment = Experiment(
+        evaluator=SurrogateEvaluator(seed=args.seed),
+        strategy=GridSearch(DEFAULT_SPACE),
+        store=store,
+        failure_injector=injector,
+    )
+    budget = args.budget or DEFAULT_SPACE.total_configurations()
+    result = experiment.run(budget=budget)
+    print(f"launched={result.launched} valid={result.succeeded} failed={result.failed}")
+    print(f"trials written to {args.out}")
+    return 0
+
+
+def _cmd_pareto(args: argparse.Namespace) -> int:
+    from repro.nas import TrialStore
+    from repro.pareto import ParetoAnalysis
+
+    store = TrialStore(args.trials)
+    count = store.load()
+    if count == 0:
+        _LOG.error("no trials found in %s", args.trials)
+        return 1
+    records = store.analysis_records()
+    front = ParetoAnalysis().front_records(records)
+    front = sorted(front, key=lambda r: -r["accuracy"])
+    print(render_table(
+        [{k: r[k] for k in ("channels", "batch", "accuracy", "latency_ms", "lat_std", "memory_mb",
+                            "kernel_size", "stride", "padding", "pool_choice", "initial_output_feature")}
+         for r in front],
+        title=f"Non-dominated solutions ({len(front)} of {count})",
+    ))
+    if args.html:
+        from repro.core.export_html import export_pareto_html
+        from repro.pareto import ParetoAnalysis as _PA
+
+        result = _PA().run(records)
+        size = export_pareto_html(records, result.front_indices.tolist(), args.html)
+        print(f"interactive scatter written to {args.html} ({size / 1e3:.1f} kB)")
+    return 0
+
+
+def _cmd_baseline(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import evaluate_baselines
+    from repro.core.report import baseline_table
+
+    rows = baseline_table(evaluate_baselines())
+    print(render_table(rows, title="Stock ResNet-18 benchmark variants (Table 5)"))
+    return 0
+
+
+def _cmd_latency(args: argparse.Namespace) -> int:
+    from repro.nas.experiment import measure_architecture
+
+    metrics = measure_architecture(_config_from_args(args))
+    rows = [{"device": name, "latency_ms": ms} for name, ms in metrics.per_device_ms.items()]
+    rows.append({"device": "MEAN", "latency_ms": metrics.latency_ms})
+    rows.append({"device": "STD", "latency_ms": metrics.lat_std})
+    print(render_table(rows, title="Predicted inference latency"))
+    print(f"memory: {metrics.memory_mb:.2f} MB, params: {metrics.param_count:,}, "
+          f"flops: {metrics.flops/1e6:.1f} MF")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.markdown_report import write_sweep_report
+    from repro.core.pipeline import run_paper_sweep
+
+    print("running the full sweep and writing the markdown report (~2 min)...")
+    result = run_paper_sweep(seed=args.seed)
+    size = write_sweep_report(result, args.out, include_baseline=True)
+    print(f"report written to {args.out} ({size / 1e3:.1f} kB)")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core.validation import verify_reproduction
+
+    print("running the full sweep and verifying every reproduction claim (~2 min)...")
+    report = verify_reproduction(seed=args.seed)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_energy(args: argparse.Namespace) -> int:
+    from repro.graph.trace import trace_model
+    from repro.latency.energy import ENERGY_MODELS, estimate_energy_mj
+    from repro.nn.resnet import build_model
+
+    graph = trace_model(build_model(_config_from_args(args)), input_hw=(100, 100))
+    rows = [{"device": d, "energy_mj": round(estimate_energy_mj(graph, d), 3)} for d in ENERGY_MODELS]
+    print(render_table(rows, title="Estimated single-inference energy (synthetic model, see docs)"))
+    return 0
+
+
+def _cmd_quantize(args: argparse.Namespace) -> int:
+    from repro.nn import count_parameters
+    from repro.nn.resnet import build_model
+    from repro.onnxlite import model_size_mb
+    from repro.quant import fake_quantize_model, quantized_size_mb
+
+    model = build_model(_config_from_args(args))
+    fp32 = model_size_mb(model)
+    quantizers = fake_quantize_model(model, dtype=args.dtype)
+    int_mb = quantized_size_mb(model, dtype=args.dtype)
+    print(f"parameters: {count_parameters(model):,}")
+    print(f"fp32 storage: {fp32:.2f} MB")
+    print(f"{args.dtype} storage: {int_mb:.2f} MB ({fp32 / int_mb:.1f}x smaller)")
+    print(f"quantized tensors: {len(quantizers)} (weights only; BN/bias stay fp32)")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.nn.resnet import build_model
+    from repro.profiling import profile_model, profile_table
+
+    model = build_model(_config_from_args(args))
+    profiles = profile_model(model, batch=args.profile_batch, input_hw=(args.size, args.size))
+    print(profile_table(profiles, title=f"Forward-pass profile ({args.size}x{args.size})"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-nas`` argument parser."""
+    parser = argparse.ArgumentParser(prog="repro-nas", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("-v", "--verbose", action="store_true", help="debug logging")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("space", help="print the search space (Figure 2)")
+
+    sweep = sub.add_parser("sweep", help="run a NAS sweep to JSONL")
+    sweep.add_argument("--out", default="trials.jsonl")
+    sweep.add_argument("--budget", type=int, default=0, help="0 = full grid")
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--paper-mode", action="store_true", help="inject the 11 paper failures")
+
+    pareto = sub.add_parser("pareto", help="Pareto front of a trial JSONL (Table 4)")
+    pareto.add_argument("trials", help="path to a sweep JSONL file")
+    pareto.add_argument("--html", default="", help="also write an interactive HTML scatter")
+
+    sub.add_parser("baseline", help="evaluate stock ResNet-18 variants (Table 5)")
+
+    verify = sub.add_parser("verify", help="run the sweep and verify every paper claim")
+    verify.add_argument("--seed", type=int, default=0)
+
+    report = sub.add_parser("report", help="write a markdown paper-vs-measured report")
+    report.add_argument("--out", default="sweep_report.md")
+    report.add_argument("--seed", type=int, default=0)
+
+    latency = sub.add_parser("latency", help="predict latency of one config")
+    _add_config_arguments(latency)
+
+    energy = sub.add_parser("energy", help="estimate inference energy of one config")
+    _add_config_arguments(energy)
+
+    quantize = sub.add_parser("quantize", help="int8 post-training quantization what-if")
+    _add_config_arguments(quantize)
+    quantize.add_argument("--dtype", default="int8", choices=("int8", "uint8", "int16"))
+
+    profile = sub.add_parser("profile", help="per-layer forward profile of one config")
+    _add_config_arguments(profile)
+    profile.add_argument("--size", type=int, default=64, help="input patch size")
+    profile.add_argument("--profile-batch", type=int, default=4)
+
+    return parser
+
+
+_COMMANDS = {
+    "space": _cmd_space,
+    "sweep": _cmd_sweep,
+    "pareto": _cmd_pareto,
+    "baseline": _cmd_baseline,
+    "verify": _cmd_verify,
+    "report": _cmd_report,
+    "latency": _cmd_latency,
+    "energy": _cmd_energy,
+    "quantize": _cmd_quantize,
+    "profile": _cmd_profile,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    configure(level=10 if args.verbose else 20)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""The paper's end-to-end pipeline and its evaluation artifacts.
+
+- :mod:`~repro.core.objectives` — the three-objective specification;
+- :mod:`~repro.core.pipeline` — `HwNasPipeline`: search space -> NAS sweep
+  -> latency/memory measurement -> Pareto analysis (Sections 3.1-3.4);
+- :mod:`~repro.core.paper` — the paper's reported numbers (Tables 1-5) as
+  structured constants, used by benches for side-by-side comparison;
+- :mod:`~repro.core.report` — table builders for Tables 3/4/5;
+- :mod:`~repro.core.figures` — data generators for Figures 1-4.
+"""
+
+from repro.core.objectives import OBJECTIVES, ObjectiveSpec
+from repro.core.pipeline import HwNasPipeline, PipelineResult, run_paper_sweep
+from repro.core.report import (
+    baseline_table,
+    objective_ranges_table,
+    pareto_table,
+    per_combination_fronts,
+)
+from repro.core.figures import (
+    architecture_figure,
+    pareto_scatter_figure,
+    radar_figure,
+    searchspace_figure,
+)
+from repro.core.plots import ascii_radar_bars, ascii_scatter
+from repro.core.export_html import export_pareto_html
+from repro.core.validation import verify_reproduction, VerificationReport
+from repro.core.sweep_compare import SweepComparison, compare_sweeps
+
+__all__ = [
+    "OBJECTIVES",
+    "ObjectiveSpec",
+    "HwNasPipeline",
+    "PipelineResult",
+    "run_paper_sweep",
+    "baseline_table",
+    "objective_ranges_table",
+    "pareto_table",
+    "per_combination_fronts",
+    "architecture_figure",
+    "pareto_scatter_figure",
+    "radar_figure",
+    "searchspace_figure",
+    "ascii_scatter",
+    "ascii_radar_bars",
+    "export_pareto_html",
+    "verify_reproduction",
+    "VerificationReport",
+    "SweepComparison",
+    "compare_sweeps",
+]

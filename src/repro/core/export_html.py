@@ -1,0 +1,157 @@
+"""Standalone interactive HTML export of the Figure-3 scatter.
+
+The paper publishes an interactive version of Figure 3
+(https://jiwonbaik96.github.io/dlgpu/pareto); this module regenerates the
+equivalent artifact: a single self-contained HTML file (inline data +
+vanilla-JS canvas, no external dependencies) with axis selection and
+hover tooltips showing each trial's configuration.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+__all__ = ["export_pareto_html"]
+
+_TEMPLATE = """<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>Pareto front — drainage-crossing HW-NAS</title>
+<style>
+  body {{ font-family: sans-serif; margin: 20px; }}
+  #tooltip {{ position: absolute; background: #222; color: #eee; padding: 6px 8px;
+             border-radius: 4px; font-size: 12px; pointer-events: none; display: none; }}
+  select {{ margin-right: 12px; }}
+  canvas {{ border: 1px solid #ccc; }}
+</style>
+</head>
+<body>
+<h2>Pareto front analysis ({n_points} trials, {n_front} non-dominated)</h2>
+<label>x: <select id="xAxis"></select></label>
+<label>y: <select id="yAxis"></select></label>
+<canvas id="plot" width="900" height="560"></canvas>
+<div id="tooltip"></div>
+<script>
+const DATA = {data_json};
+const AXES = {axes_json};
+const FRONT = new Set({front_json});
+const canvas = document.getElementById("plot");
+const ctx = canvas.getContext("2d");
+const tooltip = document.getElementById("tooltip");
+const xSel = document.getElementById("xAxis");
+const ySel = document.getElementById("yAxis");
+const PAD = 55;
+for (const axis of AXES) {{
+  xSel.add(new Option(axis, axis));
+  ySel.add(new Option(axis, axis));
+}}
+xSel.value = AXES[1] || AXES[0];
+ySel.value = AXES[0];
+let positions = [];
+function scale(values) {{
+  const lo = Math.min(...values), hi = Math.max(...values);
+  const span = hi > lo ? hi - lo : 1;
+  return v => (v - lo) / span;
+}}
+function draw() {{
+  const xKey = xSel.value, yKey = ySel.value;
+  const xs = DATA.map(d => d[xKey]), ys = DATA.map(d => d[yKey]);
+  const sx = scale(xs), sy = scale(ys);
+  ctx.clearRect(0, 0, canvas.width, canvas.height);
+  ctx.strokeStyle = "#999";
+  ctx.strokeRect(PAD, PAD / 2, canvas.width - 1.5 * PAD, canvas.height - 1.5 * PAD);
+  ctx.fillStyle = "#333";
+  ctx.fillText(xKey, canvas.width / 2, canvas.height - 8);
+  ctx.save();
+  ctx.translate(14, canvas.height / 2);
+  ctx.rotate(-Math.PI / 2);
+  ctx.fillText(yKey, 0, 0);
+  ctx.restore();
+  positions = DATA.map((d, i) => {{
+    const px = PAD + sx(d[xKey]) * (canvas.width - 1.5 * PAD);
+    const py = canvas.height - PAD + (-sy(d[yKey])) * (canvas.height - 1.5 * PAD);
+    return [px, py, i];
+  }});
+  for (const [px, py, i] of positions) {{
+    if (FRONT.has(i)) continue;
+    ctx.fillStyle = "rgba(70,110,180,0.45)";
+    ctx.beginPath(); ctx.arc(px, py, 2.5, 0, 6.283); ctx.fill();
+  }}
+  for (const [px, py, i] of positions) {{
+    if (!FRONT.has(i)) continue;
+    ctx.fillStyle = "#d03030";
+    ctx.beginPath(); ctx.arc(px, py, 5, 0, 6.283); ctx.fill();
+  }}
+}}
+canvas.addEventListener("mousemove", ev => {{
+  const rect = canvas.getBoundingClientRect();
+  const mx = ev.clientX - rect.left, my = ev.clientY - rect.top;
+  let best = null, bestDist = 100;
+  for (const [px, py, i] of positions) {{
+    const d = (px - mx) ** 2 + (py - my) ** 2;
+    if (d < bestDist) {{ bestDist = d; best = i; }}
+  }}
+  if (best === null) {{ tooltip.style.display = "none"; return; }}
+  const d = DATA[best];
+  tooltip.innerHTML = Object.entries(d).map(([k, v]) => `${{k}}: ${{v}}`).join("<br>");
+  tooltip.style.left = (ev.pageX + 12) + "px";
+  tooltip.style.top = (ev.pageY + 12) + "px";
+  tooltip.style.display = "block";
+}});
+canvas.addEventListener("mouseleave", () => tooltip.style.display = "none");
+xSel.onchange = draw; ySel.onchange = draw;
+draw();
+</script>
+</body>
+</html>
+"""
+
+_DEFAULT_AXES = ("accuracy", "latency_ms", "memory_mb")
+_TOOLTIP_KEYS = (
+    "accuracy", "latency_ms", "memory_mb", "channels", "batch", "kernel_size",
+    "stride", "padding", "pool_choice", "initial_output_feature",
+)
+
+
+def export_pareto_html(
+    records: Sequence[Mapping],
+    front_indices: Sequence[int],
+    path: str | Path,
+    axes: Sequence[str] = _DEFAULT_AXES,
+) -> int:
+    """Write the interactive scatter; returns the file size in bytes.
+
+    Parameters
+    ----------
+    records:
+        Flat trial records (e.g. ``PipelineResult.records``).
+    front_indices:
+        Indices of the non-dominated records (drawn red, on top).
+    path:
+        Output HTML path.
+    axes:
+        Keys selectable as plot axes (must exist in every record).
+    """
+    if not records:
+        raise ValueError("no records to export")
+    for axis in axes:
+        if axis not in records[0]:
+            raise KeyError(f"axis {axis!r} not present in the records")
+    data = [
+        {key: (round(float(rec[key]), 4) if isinstance(rec[key], float) else rec[key])
+         for key in _TOOLTIP_KEYS if key in rec}
+        for rec in records
+    ]
+    html = _TEMPLATE.format(
+        n_points=len(records),
+        n_front=len(front_indices),
+        data_json=json.dumps(data),
+        axes_json=json.dumps(list(axes)),
+        front_json=json.dumps([int(i) for i in front_indices]),
+    )
+    path = Path(path)
+    path.write_text(html, encoding="utf-8")
+    return path.stat().st_size

@@ -1,0 +1,89 @@
+"""Markdown report generation for a sweep.
+
+Renders one self-contained markdown document — trial accounting, Table 3
+ranges, the Table-4 front, per-combination fronts, and the Table-5
+baseline — each next to the paper's reported values.  ``repro-nas report``
+writes it to disk; EXPERIMENTS.md in this repository is the curated
+version of this artifact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.core.paper import TABLE3_RANGES, TABLE4_PARETO, TABLE5_BASELINE, TOTAL_TRIALS, VALID_OUTCOMES
+from repro.core.pipeline import PipelineResult, evaluate_baselines
+from repro.core.report import baseline_table, pareto_table, per_combination_fronts
+
+__all__ = ["sweep_markdown", "write_sweep_report"]
+
+
+def _md_table(rows: Sequence[Mapping], columns: Sequence[str] | None = None) -> str:
+    """Rows as a GitHub-flavored markdown table."""
+    if not rows:
+        return "*(empty)*\n"
+    columns = list(columns) if columns is not None else list(rows[0])
+    head = "| " + " | ".join(columns) + " |"
+    rule = "|" + "|".join("---" for _ in columns) + "|"
+    body = []
+    for row in rows:
+        cells = []
+        for col in columns:
+            value = row.get(col, "")
+            cells.append(f"{value:.2f}" if isinstance(value, float) else str(value))
+        body.append("| " + " | ".join(cells) + " |")
+    return "\n".join([head, rule, *body]) + "\n"
+
+
+_FRONT_COLUMNS = ("channels", "batch", "accuracy", "latency_ms", "lat_std", "memory_mb",
+                  "kernel_size", "stride", "padding", "pool_choice", "initial_output_feature")
+
+
+def sweep_markdown(result: PipelineResult, include_baseline: bool = True) -> str:
+    """The full markdown report for one sweep result."""
+    parts: list[str] = ["# Sweep report (paper vs measured)\n"]
+
+    parts.append("## Trial accounting\n")
+    parts.append(_md_table([
+        {"quantity": "launched", "measured": result.launched, "paper": TOTAL_TRIALS},
+        {"quantity": "valid outcomes", "measured": result.valid_outcomes, "paper": VALID_OUTCOMES},
+    ]))
+
+    parts.append("\n## Objective ranges (Table 3)\n")
+    ranges = result.pareto.ranges()
+    rows = []
+    for key, (paper_lo, paper_hi) in TABLE3_RANGES.items():
+        lo, hi = ranges[key]
+        rows.append({"objective": key, "measured_min": round(lo, 2), "measured_max": round(hi, 2),
+                     "paper_min": paper_lo, "paper_max": paper_hi})
+    parts.append(_md_table(rows))
+
+    parts.append("\n## Non-dominated solutions (Table 4)\n")
+    parts.append(_md_table(pareto_table(result), _FRONT_COLUMNS))
+    parts.append("\nPaper's reported rows:\n")
+    parts.append(_md_table(TABLE4_PARETO, _FRONT_COLUMNS))
+
+    parts.append("\n## Per-input-combination fronts\n")
+    for (channels, batch), rows_ in per_combination_fronts(result).items():
+        parts.append(f"\n### channels={channels}, batch={batch} ({len(rows_)} members)\n")
+        parts.append(_md_table(rows_[:3], _FRONT_COLUMNS))
+
+    if include_baseline:
+        parts.append("\n## Stock ResNet-18 variants (Table 5)\n")
+        rows = baseline_table(evaluate_baselines())
+        paper = {(r["channels"], r["batch"]): r for r in TABLE5_BASELINE}
+        for row in rows:
+            ref = paper[(row["channels"], row["batch"])]
+            row["paper_accuracy"] = ref["accuracy"]
+            row["paper_latency_ms"] = ref["latency_ms"]
+        parts.append(_md_table(rows))
+
+    return "\n".join(parts)
+
+
+def write_sweep_report(result: PipelineResult, path: str | Path, include_baseline: bool = True) -> int:
+    """Write the markdown report; returns the byte size."""
+    path = Path(path)
+    path.write_text(sweep_markdown(result, include_baseline=include_baseline), encoding="utf-8")
+    return path.stat().st_size

@@ -1,0 +1,32 @@
+"""The paper's three optimization objectives."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pareto.dominance import ObjectiveSense
+
+__all__ = ["ObjectiveSpec", "OBJECTIVES"]
+
+
+@dataclass(frozen=True)
+class ObjectiveSpec:
+    """One objective: record key, direction, unit, display name."""
+
+    key: str
+    sense: ObjectiveSense
+    unit: str
+    display: str
+
+    @property
+    def pair(self) -> tuple[str, ObjectiveSense]:
+        """The (key, sense) pair :class:`repro.pareto.ParetoAnalysis` expects."""
+        return (self.key, self.sense)
+
+
+#: Accuracy (maximize, %), latency (minimize, ms), memory (minimize, MB).
+OBJECTIVES: tuple[ObjectiveSpec, ...] = (
+    ObjectiveSpec("accuracy", ObjectiveSense.MAX, "%", "Inference Accuracy"),
+    ObjectiveSpec("latency_ms", ObjectiveSense.MIN, "ms", "Inference Latency"),
+    ObjectiveSpec("memory_mb", ObjectiveSense.MIN, "MB", "Memory Usage"),
+)

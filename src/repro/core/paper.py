@@ -1,0 +1,92 @@
+"""The paper's reported results, as structured constants.
+
+Every benchmark prints its reproduced rows next to these reference values
+so 'paper vs measured' is visible in the output and recorded in
+EXPERIMENTS.md.  Sources: SC-W 2023 paper, Tables 1-5 and Section 4.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE1_REGIONS",
+    "TABLE2_PREDICTORS",
+    "TABLE3_RANGES",
+    "TABLE4_PARETO",
+    "TABLE5_BASELINE",
+    "TOTAL_TRIALS",
+    "VALID_OUTCOMES",
+    "CONFIGS_PER_COMBINATION",
+    "REFERENCE_ACCURACY_RANGE",
+]
+
+#: Table 1 — data sources and study regions.
+TABLE1_REGIONS = [
+    {"location": "Nebraska", "dem_source": "Nebraska Department of Natural Resource",
+     "dem_resolution": "1m", "true": 2022, "false": 2022, "total": 4044},
+    {"location": "Illinois", "dem_source": "Illinois Geospatial Data Clearinghouse",
+     "dem_resolution": "0.3m", "true": 1011, "false": 1011, "total": 2022},
+    {"location": "North Dakota", "dem_source": "North Dakota GIS Hub Data Portal",
+     "dem_resolution": "0.61m", "true": 613, "false": 613, "total": 1226},
+    {"location": "California", "dem_source": "USGS",
+     "dem_resolution": "1m", "true": 2388, "false": 2388, "total": 4776},
+]
+
+#: Table 2 — nn-Meter predictor hardware and +-10% accuracy.
+TABLE2_PREDICTORS = [
+    {"hardware_name": "cortexA76cpu", "device": "Pixel4", "framework": "TFLite v2.1",
+     "processor": "CortexA76 CPU", "accuracy": 99.00},
+    {"hardware_name": "adreno640gpu", "device": "Mi9", "framework": "TFLite v2.1",
+     "processor": "Adreno 640 GPU", "accuracy": 99.10},
+    {"hardware_name": "adreno630gpu", "device": "Pixel3XL", "framework": "TFLite v2.1",
+     "processor": "Adreno 630 GPU", "accuracy": 99.00},
+    {"hardware_name": "myriadvpu", "device": "Intel Movidius NCS2", "framework": "OpenVINO2019R2",
+     "processor": "Myriad VPU", "accuracy": 83.40},
+]
+
+#: Table 3 — objective value ranges over the 1,717 valid outcomes.
+TABLE3_RANGES = {
+    "accuracy": (76.19, 96.13),
+    "latency_ms": (8.13, 249.56),
+    "memory_mb": (11.18, 44.69),
+}
+
+#: Table 4 — the five reported non-dominated solutions.
+#: NOTE: rows 3 and 5 (pool_choice=1) are *dominated* by rows 1 and 4
+#: respectively under the standard Pareto definition applied to the
+#: table's own values (equal memory, worse accuracy and latency); see
+#: EXPERIMENTS.md for the discussion of this inconsistency.
+TABLE4_PARETO = [
+    {"channels": 7, "batch": 16, "accuracy": 96.13, "latency_ms": 8.19, "lat_std": 4.59,
+     "memory_mb": 11.18, "kernel_size": 3, "stride": 2, "padding": 1, "pool_choice": 0,
+     "kernel_size_pool": 3, "stride_pool": 2, "initial_output_feature": 32},
+    {"channels": 5, "batch": 16, "accuracy": 95.45, "latency_ms": 8.23, "lat_std": 4.66,
+     "memory_mb": 11.18, "kernel_size": 3, "stride": 2, "padding": 1, "pool_choice": 0,
+     "kernel_size_pool": 2, "stride_pool": 2, "initial_output_feature": 32},
+    {"channels": 7, "batch": 8, "accuracy": 95.79, "latency_ms": 18.30, "lat_std": 16.02,
+     "memory_mb": 11.18, "kernel_size": 3, "stride": 2, "padding": 1, "pool_choice": 1,
+     "kernel_size_pool": 3, "stride_pool": 2, "initial_output_feature": 32},
+    {"channels": 5, "batch": 8, "accuracy": 94.68, "latency_ms": 8.13, "lat_std": 4.53,
+     "memory_mb": 11.18, "kernel_size": 3, "stride": 2, "padding": 1, "pool_choice": 0,
+     "kernel_size_pool": 3, "stride_pool": 2, "initial_output_feature": 32},
+    {"channels": 5, "batch": 8, "accuracy": 93.97, "latency_ms": 18.24, "lat_std": 15.96,
+     "memory_mb": 11.18, "kernel_size": 3, "stride": 2, "padding": 1, "pool_choice": 1,
+     "kernel_size_pool": 3, "stride_pool": 1, "initial_output_feature": 32},
+]
+
+#: Table 5 — the six stock ResNet-18 benchmark variants.
+TABLE5_BASELINE = [
+    {"channels": 5, "batch": 8, "accuracy": 92.90, "latency_ms": 31.91, "lat_std": 20.36, "memory_mb": 44.71},
+    {"channels": 5, "batch": 16, "accuracy": 93.60, "latency_ms": 31.91, "lat_std": 20.36, "memory_mb": 44.71},
+    {"channels": 5, "batch": 32, "accuracy": 89.67, "latency_ms": 31.91, "lat_std": 20.36, "memory_mb": 44.71},
+    {"channels": 7, "batch": 8, "accuracy": 94.76, "latency_ms": 32.46, "lat_std": 20.96, "memory_mb": 44.73},
+    {"channels": 7, "batch": 16, "accuracy": 95.37, "latency_ms": 32.46, "lat_std": 20.96, "memory_mb": 44.73},
+    {"channels": 7, "batch": 32, "accuracy": 94.51, "latency_ms": 32.46, "lat_std": 20.96, "memory_mb": 44.73},
+]
+
+#: Section 4 trial accounting.
+TOTAL_TRIALS = 1728
+VALID_OUTCOMES = 1717
+CONFIGS_PER_COMBINATION = 288
+
+#: Accuracy range of the reference study (Wu et al. 2023) the paper compares to.
+REFERENCE_ACCURACY_RANGE = (95.92, 97.43)

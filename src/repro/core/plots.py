@@ -1,0 +1,82 @@
+"""Plot-library-free figure rendering (ASCII).
+
+The repository has no matplotlib; these renderers turn figure *data*
+(:mod:`repro.core.figures`) into terminal graphics so the benches and
+examples can show Figure 3's scatter and Figure 4's radar values without
+any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.figures import RadarSolution
+
+__all__ = ["ascii_scatter", "ascii_radar_bars"]
+
+
+def ascii_scatter(
+    x: np.ndarray,
+    y: np.ndarray,
+    highlight: np.ndarray | None = None,
+    width: int = 72,
+    height: int = 22,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render a 2-D scatter as ASCII ('.' = point, 'O' = highlighted).
+
+    Highlighted points are drawn last so they are never hidden; the y axis
+    increases upward, matching conventional plots.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("x and y must be 1-D arrays of the same length")
+    if x.size == 0:
+        raise ValueError("nothing to plot")
+    mask = np.zeros(x.size, dtype=bool) if highlight is None else np.asarray(highlight, dtype=bool)
+
+    def scaled(values: np.ndarray, bins: int) -> np.ndarray:
+        lo, hi = values.min(), values.max()
+        span = hi - lo if hi > lo else 1.0
+        return np.clip(((values - lo) / span * (bins - 1)).astype(int), 0, bins - 1)
+
+    cols = scaled(x, width)
+    rows = scaled(y, height)
+    canvas = [[" "] * width for _ in range(height)]
+    for c, r in zip(cols[~mask], rows[~mask]):
+        canvas[height - 1 - r][c] = "."
+    for c, r in zip(cols[mask], rows[mask]):
+        canvas[height - 1 - r][c] = "O"
+
+    top = f"{y.max():.4g}".rjust(10)
+    bottom = f"{y.min():.4g}".rjust(10)
+    lines = [f"{y_label} (O = non-dominated)"]
+    for i, row in enumerate(canvas):
+        prefix = top if i == 0 else (bottom if i == height - 1 else " " * 10)
+        lines.append(f"{prefix} |{''.join(row)}|")
+    lines.append(" " * 11 + "-" * width)
+    lines.append(" " * 11 + f"{x.min():.4g}".ljust(width - 12) + f"{x.max():.4g}")
+    lines.append(" " * 11 + x_label)
+    return "\n".join(lines) + "\n"
+
+
+def ascii_radar_bars(solutions: list[RadarSolution], width: int = 40) -> str:
+    """Render radar polygons as per-axis bar charts, one block per model.
+
+    A faithful radar needs trigonometry and a canvas; per-axis horizontal
+    bars communicate the same normalized values unambiguously in text.
+    """
+    if not solutions:
+        return "(no solutions)\n"
+    lines: list[str] = []
+    for sol in solutions:
+        group = "pool" if sol.pooled else "no-pool"
+        lines.append(f"{sol.label}  [{group}]")
+        for axis, value in zip(sol.axes, sol.values):
+            filled = int(round(value * width))
+            bar = "#" * filled + "-" * (width - filled)
+            lines.append(f"  {axis:>22s} |{bar}| {value:.2f}")
+        lines.append("")
+    return "\n".join(lines)

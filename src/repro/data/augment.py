@@ -1,0 +1,33 @@
+"""Geometric training augmentation.
+
+Drainage crossings have no canonical orientation, so the dihedral group
+(flips + 90-degree rotations) is label-preserving; augmentation operates
+on whole ``(N, C, H, W)`` batches with array ops only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import rng_from_seed
+
+__all__ = ["random_flip_rot", "augment_batch"]
+
+
+def random_flip_rot(patch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Apply a uniformly random dihedral-group element to one (C, H, W) patch."""
+    if patch.ndim != 3 or patch.shape[1] != patch.shape[2]:
+        raise ValueError(f"expected a square (C, H, W) patch, got {patch.shape}")
+    k = int(rng.integers(0, 4))
+    out = np.rot90(patch, k=k, axes=(1, 2))
+    if rng.random() < 0.5:
+        out = out[:, :, ::-1]
+    return np.ascontiguousarray(out)
+
+
+def augment_batch(x: np.ndarray, rng=None) -> np.ndarray:
+    """Independently augment every sample of an (N, C, H, W) batch."""
+    if x.ndim != 4:
+        raise ValueError(f"expected an (N, C, H, W) batch, got {x.shape}")
+    generator = rng_from_seed(rng)
+    return np.stack([random_flip_rot(sample, generator) for sample in x])

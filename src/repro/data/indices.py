@@ -1,0 +1,33 @@
+"""Spectral indices from the paper (Eqs. 1 and 2).
+
+.. math::
+
+    NDVI = (NIR - RED) / (NIR + RED)
+
+    NDWI = (GREEN - NIR) / (GREEN + NIR)
+
+Both are bounded in [-1, 1]; a small epsilon guards against zero
+denominators on fully dark pixels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ndvi", "ndwi"]
+
+_EPS = 1e-6
+
+
+def ndvi(nir: np.ndarray, red: np.ndarray) -> np.ndarray:
+    """Normalized Difference Vegetation Index (paper Eq. 1)."""
+    nir = np.asarray(nir, dtype=np.float32)
+    red = np.asarray(red, dtype=np.float32)
+    return ((nir - red) / (nir + red + _EPS)).astype(np.float32)
+
+
+def ndwi(green: np.ndarray, nir: np.ndarray) -> np.ndarray:
+    """Normalized Difference Water Index (paper Eq. 2, McFeeters 1996)."""
+    green = np.asarray(green, dtype=np.float32)
+    nir = np.asarray(nir, dtype=np.float32)
+    return ((green - nir) / (green + nir + _EPS)).astype(np.float32)

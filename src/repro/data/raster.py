@@ -1,0 +1,152 @@
+"""Georeferenced raster container (GeoTIFF stand-in).
+
+The paper's artifacts ship clipped HRDEM/orthophoto rasters; this module
+provides the equivalent persistence layer for synthetic scenes: a binary
+multi-band raster with an affine geotransform and a CRS string, so region
+scenes can be written to disk, re-tiled, and shared between the data
+pipeline stages exactly as the paper's step0 notebooks do with GeoTIFFs.
+
+Format::
+
+    RRST | u32 version | u32 header_len | header JSON | float32 band data
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["GeoTransform", "Raster", "save_raster", "load_raster"]
+
+_MAGIC = b"RRST"
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class GeoTransform:
+    """Affine pixel->world mapping (GDAL's 6-coefficient convention)."""
+
+    origin_x: float = 0.0
+    origin_y: float = 0.0
+    pixel_width: float = 1.0
+    pixel_height: float = -1.0  # north-up rasters have negative dy
+    shear_x: float = 0.0
+    shear_y: float = 0.0
+
+    def pixel_to_world(self, row: float, col: float) -> tuple[float, float]:
+        """World coordinates of a (row, col) pixel center."""
+        x = self.origin_x + col * self.pixel_width + row * self.shear_x
+        y = self.origin_y + col * self.shear_y + row * self.pixel_height
+        return x, y
+
+    def world_to_pixel(self, x: float, y: float) -> tuple[float, float]:
+        """Fractional (row, col) of a world coordinate (no shear support)."""
+        if self.shear_x or self.shear_y:
+            raise NotImplementedError("world_to_pixel with shear is not supported")
+        col = (x - self.origin_x) / self.pixel_width
+        row = (y - self.origin_y) / self.pixel_height
+        return row, col
+
+    def as_tuple(self) -> tuple[float, ...]:
+        return (self.origin_x, self.origin_y, self.pixel_width,
+                self.pixel_height, self.shear_x, self.shear_y)
+
+
+@dataclass
+class Raster:
+    """A multi-band float32 raster with georeferencing metadata."""
+
+    data: np.ndarray  # (bands, H, W)
+    transform: GeoTransform = field(default_factory=GeoTransform)
+    crs: str = "EPSG:32614"  # UTM 14N, covering the Nebraska study region
+    band_names: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.data = np.ascontiguousarray(self.data, dtype=np.float32)
+        if self.data.ndim == 2:
+            self.data = self.data[None]
+        if self.data.ndim != 3:
+            raise ValueError(f"raster data must be (bands, H, W), got shape {self.data.shape}")
+        if self.band_names and len(self.band_names) != self.data.shape[0]:
+            raise ValueError(
+                f"{len(self.band_names)} band names for {self.data.shape[0]} bands"
+            )
+
+    @property
+    def bands(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(H, W) spatial shape."""
+        return self.data.shape[1], self.data.shape[2]
+
+    def band(self, name: str) -> np.ndarray:
+        """Look up one band by name."""
+        if name not in self.band_names:
+            raise KeyError(f"no band named {name!r}; bands: {self.band_names}")
+        return self.data[self.band_names.index(name)]
+
+    def window(self, row: int, col: int, size: int) -> "Raster":
+        """A square sub-raster with an adjusted geotransform."""
+        h, w = self.shape
+        if not (0 <= row and row + size <= h and 0 <= col and col + size <= w):
+            raise ValueError(f"window ({row}, {col}, {size}) exceeds raster of shape {self.shape}")
+        x, y = self.transform.pixel_to_world(row, col)
+        sub_transform = GeoTransform(
+            origin_x=x, origin_y=y,
+            pixel_width=self.transform.pixel_width,
+            pixel_height=self.transform.pixel_height,
+        )
+        return Raster(
+            data=self.data[:, row : row + size, col : col + size].copy(),
+            transform=sub_transform,
+            crs=self.crs,
+            band_names=self.band_names,
+        )
+
+
+def save_raster(raster: Raster, path: str | Path) -> int:
+    """Write a raster container; returns the byte size."""
+    header = {
+        "bands": raster.bands,
+        "height": raster.shape[0],
+        "width": raster.shape[1],
+        "transform": list(raster.transform.as_tuple()),
+        "crs": raster.crs,
+        "band_names": list(raster.band_names),
+    }
+    header_bytes = json.dumps(header).encode("utf-8")
+    blob = (
+        _MAGIC
+        + struct.pack("<II", _VERSION, len(header_bytes))
+        + header_bytes
+        + raster.data.tobytes()
+    )
+    Path(path).write_bytes(blob)
+    return len(blob)
+
+
+def load_raster(path: str | Path) -> Raster:
+    """Read a raster container written by :func:`save_raster`."""
+    blob = Path(path).read_bytes()
+    if blob[:4] != _MAGIC:
+        raise ValueError("not a raster container (bad magic)")
+    version, header_len = struct.unpack("<II", blob[4:12])
+    if version != _VERSION:
+        raise ValueError(f"unsupported raster version {version}")
+    header = json.loads(blob[12 : 12 + header_len].decode("utf-8"))
+    count = header["bands"] * header["height"] * header["width"]
+    data = np.frombuffer(blob[12 + header_len :], dtype=np.float32, count=count)
+    data = data.reshape(header["bands"], header["height"], header["width"]).copy()
+    t = header["transform"]
+    return Raster(
+        data=data,
+        transform=GeoTransform(*t),
+        crs=header["crs"],
+        band_names=tuple(header["band_names"]),
+    )

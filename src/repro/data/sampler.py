@@ -1,0 +1,69 @@
+"""Minibatch iteration over a dataset."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.dataset import DrainageCrossingDataset
+from repro.utils.rng import rng_from_seed
+
+__all__ = ["BatchSampler"]
+
+
+class BatchSampler:
+    """Yield ``(X, y)`` minibatches, optionally shuffled each epoch.
+
+    Parameters
+    ----------
+    dataset:
+        Source dataset.
+    batch_size:
+        Samples per batch (the paper searches over 8/16/32).
+    indices:
+        Restrict iteration to a subset (used by the k-fold evaluator);
+        defaults to the whole dataset.
+    shuffle:
+        Re-permute indices at the start of every iteration.
+    drop_last:
+        Drop a trailing partial batch (keeps batch-norm statistics stable
+        for tiny folds).
+    rng:
+        Seed or generator driving the shuffles.
+    """
+
+    def __init__(
+        self,
+        dataset: DrainageCrossingDataset,
+        batch_size: int,
+        indices: np.ndarray | None = None,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        rng=None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.indices = np.arange(len(dataset)) if indices is None else np.asarray(indices, dtype=np.int64)
+        if self.indices.size == 0:
+            raise ValueError("sampler received an empty index set")
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = rng_from_seed(rng)
+
+    def __len__(self) -> int:
+        """Number of batches per epoch."""
+        full, rem = divmod(self.indices.size, self.batch_size)
+        return full if (self.drop_last or rem == 0) else full + 1
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        order = self.indices
+        if self.shuffle:
+            order = self._rng.permutation(order)
+        stop = (order.size // self.batch_size) * self.batch_size if self.drop_last else order.size
+        for start in range(0, stop, self.batch_size):
+            chunk = order[start : start + self.batch_size]
+            if chunk.size:
+                yield self.dataset.batch(chunk)

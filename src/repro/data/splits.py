@@ -1,0 +1,48 @@
+"""K-fold and train/test index splitting (paper Section 3.2 evaluation).
+
+The paper evaluates every NAS trial with 5-fold cross-validation; these
+helpers produce the disjoint, exhaustive index partitions that protocol
+needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import rng_from_seed
+
+__all__ = ["kfold_indices", "train_test_split_indices"]
+
+
+def kfold_indices(n: int, k: int = 5, seed: int | None = 0) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Split ``range(n)`` into ``k`` (train, validation) folds.
+
+    Folds are disjoint, cover all indices, and differ in size by at most
+    one element.  ``seed=None`` keeps natural order (no shuffle).
+    """
+    if k < 2:
+        raise ValueError(f"k must be >= 2, got {k}")
+    if n < k:
+        raise ValueError(f"cannot make {k} folds from {n} samples")
+    order = np.arange(n) if seed is None else rng_from_seed(seed).permutation(n)
+    fold_sizes = np.full(k, n // k, dtype=np.int64)
+    fold_sizes[: n % k] += 1
+    splits: list[tuple[np.ndarray, np.ndarray]] = []
+    start = 0
+    for size in fold_sizes:
+        val = order[start : start + size]
+        train = np.concatenate([order[:start], order[start + size :]])
+        splits.append((train, val))
+        start += size
+    return splits
+
+
+def train_test_split_indices(n: int, test_fraction: float = 0.2, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """A single shuffled (train, test) index split."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    order = rng_from_seed(seed).permutation(n)
+    n_test = max(1, int(round(n * test_fraction)))
+    if n_test >= n:
+        raise ValueError(f"test fraction {test_fraction} leaves no training data for n={n}")
+    return order[n_test:], order[:n_test]

@@ -1,0 +1,92 @@
+"""Dataset channel statistics and normalization.
+
+Production training pipelines standardize inputs with statistics computed
+over the *training* split only; these helpers compute streaming
+per-channel mean/std (Welford's algorithm over batches) and apply them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import DrainageCrossingDataset
+
+__all__ = ["ChannelStats", "compute_channel_stats", "Normalizer"]
+
+
+@dataclass(frozen=True)
+class ChannelStats:
+    """Per-channel first and second moments."""
+
+    mean: np.ndarray
+    std: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.mean.shape != self.std.shape or self.mean.ndim != 1:
+            raise ValueError("mean/std must be 1-D arrays of equal length")
+        if np.any(self.std <= 0):
+            raise ValueError("std must be strictly positive")
+
+    @property
+    def channels(self) -> int:
+        return self.mean.shape[0]
+
+
+def compute_channel_stats(
+    dataset: DrainageCrossingDataset,
+    indices: np.ndarray | None = None,
+    batch: int = 32,
+) -> ChannelStats:
+    """Streaming per-channel mean/std over the given samples.
+
+    Uses a batched Welford update, so memory stays at one batch regardless
+    of dataset size.
+    """
+    indices = np.arange(len(dataset)) if indices is None else np.asarray(indices)
+    if indices.size == 0:
+        raise ValueError("cannot compute statistics over zero samples")
+    count = 0
+    mean = None
+    m2 = None
+    for start in range(0, indices.size, batch):
+        x, _ = dataset.batch(indices[start : start + batch])
+        flat = x.transpose(1, 0, 2, 3).reshape(x.shape[1], -1).astype(np.float64)
+        batch_count = flat.shape[1]
+        batch_mean = flat.mean(axis=1)
+        batch_m2 = ((flat - batch_mean[:, None]) ** 2).sum(axis=1)
+        if mean is None:
+            mean, m2, count = batch_mean, batch_m2, batch_count
+            continue
+        delta = batch_mean - mean
+        total = count + batch_count
+        mean = mean + delta * batch_count / total
+        m2 = m2 + batch_m2 + delta**2 * count * batch_count / total
+        count = total
+    assert mean is not None and m2 is not None
+    std = np.sqrt(m2 / count)
+    std = np.where(std > 1e-8, std, 1.0)
+    return ChannelStats(mean=mean.astype(np.float32), std=std.astype(np.float32))
+
+
+class Normalizer:
+    """Applies fixed channel statistics to batches: ``(x - mean) / std``."""
+
+    def __init__(self, stats: ChannelStats) -> None:
+        self.stats = stats
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.stats.channels:
+            raise ValueError(
+                f"expected (N, {self.stats.channels}, H, W), got shape {x.shape}"
+            )
+        mean = self.stats.mean[None, :, None, None]
+        std = self.stats.std[None, :, None, None]
+        return ((x - mean) / std).astype(np.float32)
+
+    def inverse(self, x: np.ndarray) -> np.ndarray:
+        """Undo the normalization."""
+        mean = self.stats.mean[None, :, None, None]
+        std = self.stats.std[None, :, None, None]
+        return (x * std + mean).astype(np.float32)

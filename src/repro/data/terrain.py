@@ -1,0 +1,207 @@
+"""Procedural HRDEM synthesis with drainage channels and road embankments.
+
+The generator composes three vectorized stages:
+
+1. **Base terrain** — spectral synthesis: white noise shaped by a
+   power-law amplitude spectrum ``|A(f)| ~ f^(-beta/2)`` (fractal surfaces;
+   larger beta = smoother, lowland terrain), plus a regional tilt.
+2. **Drainage channel** — a meandering path carved as a Gaussian-profile
+   depression; the meander is a sum of random sinusoids, so each sample's
+   channel geometry is unique but smooth.
+3. **Road embankment** — a raised prism crossing the patch; where a road
+   crosses a channel the embankment *fills over* the channel, producing the
+   culvert signature (channel interrupted by fill) that defines a positive
+   drainage-crossing sample, exactly the feature Wu et al. [38] detect.
+
+Everything operates on whole arrays; there are no per-pixel Python loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TerrainParams", "synthesize_dem", "channel_profile", "road_profile", "generate_scene", "Scene"]
+
+
+@dataclass(frozen=True)
+class TerrainParams:
+    """Region-level terrain character.
+
+    Attributes
+    ----------
+    relief:
+        Peak-to-trough amplitude of the base terrain in meters.
+    beta:
+        Spectral slope; ~1.8 for rough uplands, ~2.6 for smooth plains.
+    tilt:
+        Maximum regional gradient in meters across the patch.
+    channel_depth / channel_width:
+        Carved channel depth (m) and Gaussian width (cells).
+    road_height / road_width:
+        Embankment height (m) and width (cells).
+    """
+
+    relief: float = 3.0
+    beta: float = 2.2
+    tilt: float = 1.5
+    channel_depth: float = 2.0
+    channel_width: float = 4.0
+    road_height: float = 1.5
+    road_width: float = 5.0
+
+
+def synthesize_dem(size: int, rng: np.random.Generator, params: TerrainParams) -> np.ndarray:
+    """Generate a ``size x size`` float32 base DEM (meters).
+
+    Spectral synthesis: shape Fourier-domain white noise by ``f^(-beta/2)``,
+    inverse-transform, normalize to the requested relief, add a random
+    linear tilt.
+    """
+    if size < 8:
+        raise ValueError(f"DEM size must be >= 8 cells, got {size}")
+    fy = np.fft.fftfreq(size)[:, None]
+    fx = np.fft.rfftfreq(size)[None, :]
+    freq = np.hypot(fy, fx)
+    freq[0, 0] = np.inf  # kill the DC term
+    amplitude = freq ** (-params.beta / 2.0)
+    phase = rng.uniform(0.0, 2.0 * np.pi, size=amplitude.shape)
+    spectrum = amplitude * np.exp(1j * phase)
+    surface = np.fft.irfft2(spectrum, s=(size, size))
+    span = surface.max() - surface.min()
+    if span > 0:
+        surface = (surface - surface.min()) / span * params.relief
+    # Random regional tilt (plains still drain somewhere).
+    direction = rng.uniform(0.0, 2.0 * np.pi)
+    yy, xx = np.mgrid[0:size, 0:size] / max(size - 1, 1)
+    surface = surface + params.tilt * (np.cos(direction) * xx + np.sin(direction) * yy)
+    return surface.astype(np.float32)
+
+
+def _meander(size: int, rng: np.random.Generator, n_waves: int = 3) -> np.ndarray:
+    """A smooth meandering center-line offset, one value per column."""
+    t = np.linspace(0.0, 1.0, size)
+    offset = np.zeros(size)
+    for k in range(1, n_waves + 1):
+        amp = rng.uniform(0.0, size / (8.0 * k))
+        phase = rng.uniform(0.0, 2.0 * np.pi)
+        offset += amp * np.sin(2.0 * np.pi * k * t + phase)
+    return offset
+
+
+def channel_profile(
+    size: int, rng: np.random.Generator, params: TerrainParams
+) -> tuple[np.ndarray, np.ndarray]:
+    """Carve signature of a meandering channel.
+
+    Returns
+    -------
+    depth:
+        ``(size, size)`` array of depths to *subtract* from the DEM.
+    centerline:
+        Row index of the channel center for each column (float array).
+    """
+    center = size / 2.0 + rng.uniform(-size / 6.0, size / 6.0)
+    path = np.clip(center + _meander(size, rng), 2, size - 3)
+    rows = np.arange(size)[:, None]
+    dist = np.abs(rows - path[None, :])
+    depth = params.channel_depth * np.exp(-0.5 * (dist / params.channel_width) ** 2)
+    return depth.astype(np.float32), path
+
+
+def road_profile(
+    size: int, rng: np.random.Generator, params: TerrainParams
+) -> tuple[np.ndarray, np.ndarray]:
+    """Raise signature of a (roughly vertical) road embankment.
+
+    Returns
+    -------
+    height:
+        ``(size, size)`` array of heights to *add* to the DEM.
+    centerline:
+        Column index of the road center for each row (float array).
+    """
+    center = size / 2.0 + rng.uniform(-size / 6.0, size / 6.0)
+    slope = rng.uniform(-0.3, 0.3)
+    rows = np.arange(size)
+    path = np.clip(center + slope * (rows - size / 2.0), 2, size - 3)
+    cols = np.arange(size)[None, :]
+    dist = np.abs(cols - path[:, None])
+    # Flat-topped embankment: plateau half the width, cosine shoulders.
+    half = params.road_width / 2.0
+    shoulders = np.clip((dist - half / 2.0) / half, 0.0, 1.0)
+    height = params.road_height * 0.5 * (1.0 + np.cos(np.pi * shoulders))
+    height[dist > 1.5 * half] = 0.0
+    return height.astype(np.float32), path
+
+
+@dataclass
+class Scene:
+    """A synthesized scene and its ground-truth masks.
+
+    ``dem`` is the final elevation raster; the masks drive orthophoto
+    rendering and give tests checkable invariants.
+    """
+
+    dem: np.ndarray
+    channel_mask: np.ndarray
+    road_mask: np.ndarray
+    water_mask: np.ndarray
+    has_crossing: bool
+
+
+def generate_scene(
+    size: int,
+    rng: np.random.Generator,
+    params: TerrainParams,
+    crossing: bool,
+) -> Scene:
+    """Generate one labeled scene.
+
+    Positive scenes (``crossing=True``) contain a channel *and* a road
+    whose embankment fills over it near their intersection.  Negative
+    scenes are a random spatial sample, mirroring the paper's negatives:
+    empty terrain, channel only, or road only (chosen at random) — never
+    both together, so the crossing signature itself is what separates the
+    classes rather than mere object presence.
+    """
+    dem = synthesize_dem(size, rng, params)
+    channel_mask = np.zeros((size, size), dtype=bool)
+    road_mask = np.zeros((size, size), dtype=bool)
+
+    if crossing:
+        want_channel, want_road = True, True
+    else:
+        kind = rng.integers(0, 3)  # 0: empty, 1: channel only, 2: road only
+        want_channel, want_road = kind == 1, kind == 2
+
+    if want_channel:
+        depth, _ = channel_profile(size, rng, params)
+        dem = dem - depth
+        channel_mask = depth > 0.35 * params.channel_depth
+
+    if want_road:
+        height, _ = road_profile(size, rng, params)
+        if crossing:
+            # Culvert: the embankment fills over the channel, interrupting
+            # it — the defining HRDEM signature of a drainage crossing.
+            dem = np.maximum(dem, dem + height) if not want_channel else dem + height
+        else:
+            dem = dem + height
+        road_mask = height > 0.35 * params.road_height
+
+    # Water collects in the deepest channel cells (used by NDWI rendering).
+    if want_channel:
+        channel_floor = channel_mask & (dem < np.percentile(dem[channel_mask], 35))
+        water_mask = channel_floor & ~road_mask
+    else:
+        water_mask = np.zeros((size, size), dtype=bool)
+
+    return Scene(
+        dem=dem.astype(np.float32),
+        channel_mask=channel_mask,
+        road_mask=road_mask,
+        water_mask=water_mask,
+        has_crossing=bool(crossing),
+    )

@@ -1,0 +1,13 @@
+"""Inference runtime for exported onnxlite models.
+
+The paper's deployment story ends at an ONNX file consumed by an edge
+runtime (TFLite / OpenVINO).  This subpackage is that runtime's
+stand-in: :class:`~repro.deploy.runtime.OnnxliteRuntime` loads a
+serialized model and executes it with NumPy kernels that share **no code**
+with :mod:`repro.nn` — so a train -> export -> deploy round trip
+cross-validates both implementations (see ``tests/test_deploy.py``).
+"""
+
+from repro.deploy.runtime import OnnxliteRuntime, load_runtime
+
+__all__ = ["OnnxliteRuntime", "load_runtime"]

@@ -1,0 +1,170 @@
+"""Execute onnxlite model graphs with standalone NumPy kernels.
+
+The runtime walks the serialized operator list (already topologically
+ordered by the exporter), keeping a tensor environment keyed by operator
+output names.  Kernels are deliberately written independently of
+:mod:`repro.tensor` — different im2col layout, different batch-norm
+formulation — so agreement with the training stack is a meaningful check
+rather than a tautology.
+
+Supported operators: Conv, BatchNormalization, Relu, MaxPool,
+GlobalAveragePool, Flatten, Gemm, Add (the full vocabulary the exporter
+emits for the paper's model family).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.onnxlite.reader import load_model, proto_from_bytes
+from repro.onnxlite.schema import ModelProto, OperatorProto
+
+__all__ = ["OnnxliteRuntime", "load_runtime"]
+
+_BN_EPS = 1e-5
+
+
+def _conv2d(x: np.ndarray, weight: np.ndarray, attrs: dict) -> np.ndarray:
+    stride = int(attrs["stride"])
+    padding = int(attrs["padding"])
+    kernel = int(attrs["kernel"])
+    n, c_in, h, w = x.shape
+    c_out = weight.shape[0]
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    windows = sliding_window_view(x, (kernel, kernel), axis=(2, 3))[:, :, ::stride, ::stride]
+    # Tensor-dot formulation (different from repro.tensor's GEMM reshape):
+    # (N, C, oh, ow, k, k) x (F, C, k, k) over (C, k, k).
+    out = np.tensordot(windows, weight, axes=([1, 4, 5], [1, 2, 3]))  # (N, oh, ow, F)
+    return np.ascontiguousarray(out.transpose(0, 3, 1, 2)).astype(np.float32)
+
+
+def _batch_norm(x: np.ndarray, gamma, beta, mean, var) -> np.ndarray:
+    # Inference form, folded into one affine map per channel.
+    scale = gamma / np.sqrt(var + _BN_EPS)
+    shift = beta - mean * scale
+    return (x * scale[None, :, None, None] + shift[None, :, None, None]).astype(np.float32)
+
+
+def _max_pool(x: np.ndarray, attrs: dict) -> np.ndarray:
+    kernel = int(attrs["kernel"])
+    stride = int(attrs["stride"])
+    windows = sliding_window_view(x, (kernel, kernel), axis=(2, 3))[:, :, ::stride, ::stride]
+    reducer = np.mean if attrs.get("average") else np.max
+    return np.ascontiguousarray(reducer(windows, axis=(-2, -1))).astype(np.float32)
+
+
+class OnnxliteRuntime:
+    """Loads an onnxlite model and runs batched inference.
+
+    Parameters
+    ----------
+    proto:
+        The deserialized model.
+    """
+
+    def __init__(self, proto: ModelProto) -> None:
+        self.proto = proto
+        # Quantized payloads are dequantized once at load time (the
+        # runtime computes in fp32, like OpenVINO's CPU fallback path).
+        self._weights = {t.name: t.dequantized() for t in proto.initializers}
+        self._validate_ops()
+
+    def _validate_ops(self) -> None:
+        supported = {"Conv", "BatchNormalization", "Relu", "MaxPool",
+                     "GlobalAveragePool", "Flatten", "Gemm", "Add"}
+        for op in self.proto.operators:
+            if op.op_type not in supported:
+                raise ValueError(f"unsupported operator {op.op_type!r} in {op.name!r}")
+
+    # -- weight lookup helpers ------------------------------------------------
+
+    def _param(self, op_name: str, suffix: str) -> np.ndarray:
+        key = f"{op_name}.{suffix}"
+        if key not in self._weights:
+            raise KeyError(f"initializer {key!r} missing from the model")
+        return self._weights[key]
+
+    # -- execution ---------------------------------------------------------------
+
+    def _execute(self, op: OperatorProto, inputs: list[np.ndarray]) -> np.ndarray:
+        kind = op.op_type
+        if kind == "Conv":
+            out = _conv2d(inputs[0], self._param(op.name, "weight"), op.attrs)
+            bias_key = f"{op.name}.bias"
+            if bias_key in self._weights:
+                out = out + self._weights[bias_key][None, :, None, None]
+            return out
+        if kind == "BatchNormalization":
+            return _batch_norm(
+                inputs[0],
+                self._param(op.name, "weight"),
+                self._param(op.name, "bias"),
+                self._param(op.name, "running_mean"),
+                self._param(op.name, "running_var"),
+            )
+        if kind == "Relu":
+            return np.maximum(inputs[0], 0.0)
+        if kind == "MaxPool":
+            return _max_pool(inputs[0], op.attrs)
+        if kind == "GlobalAveragePool":
+            return inputs[0].mean(axis=(2, 3), dtype=np.float32)
+        if kind == "Flatten":
+            return inputs[0].reshape(inputs[0].shape[0], -1)
+        if kind == "Gemm":
+            weight = self._param(op.name, "weight")  # (out, in)
+            out = inputs[0] @ weight.T
+            bias_key = f"{op.name}.bias"
+            if bias_key in self._weights:
+                out = out + self._weights[bias_key]
+            return out.astype(np.float32)
+        if kind == "Add":
+            return (inputs[0] + inputs[1]).astype(np.float32)
+        raise AssertionError(f"unreachable operator {kind}")  # pragma: no cover
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """Run inference on a batch.
+
+        Parameters
+        ----------
+        x:
+            ``(N, C, H, W)`` float input matching the model's input shape.
+
+        Returns
+        -------
+        np.ndarray
+            The output logits, shape ``(N, *output_shape)``.
+        """
+        x = np.asarray(x, dtype=np.float32)
+        expected_c = self.proto.input_shape[0]
+        if x.ndim != 4 or x.shape[1] != expected_c:
+            raise ValueError(
+                f"expected input (N, {expected_c}, H, W), got shape {tuple(x.shape)}"
+            )
+        env: dict[str, np.ndarray] = {"input": x}
+        result: np.ndarray | None = None
+        for op in self.proto.operators:
+            inputs = [env[name] for name in op.inputs]
+            result = self._execute(op, inputs)
+            env[op.outputs[0]] = result
+        if result is None:
+            raise ValueError("model has no operators")
+        return result
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class predictions (argmax of the logits)."""
+        return self.run(x).argmax(axis=1)
+
+    def __repr__(self) -> str:
+        return (f"OnnxliteRuntime(model={self.proto.name!r}, "
+                f"ops={len(self.proto.operators)}, params={self.proto.parameter_count():,})")
+
+
+def load_runtime(source: str | Path | bytes) -> OnnxliteRuntime:
+    """Build a runtime from a file path or serialized bytes."""
+    if isinstance(source, bytes):
+        return OnnxliteRuntime(proto_from_bytes(source))
+    return OnnxliteRuntime(load_model(source))

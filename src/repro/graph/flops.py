@@ -1,0 +1,41 @@
+"""FLOP accounting per IR node (multiply-add counted as 2 FLOPs)."""
+
+from __future__ import annotations
+
+from repro.graph.ir import Graph, Node, OpType
+
+__all__ = ["node_flops", "count_graph_flops"]
+
+
+def _numel(shape: tuple[int, ...]) -> int:
+    n = 1
+    for d in shape:
+        n *= d
+    return n
+
+
+def node_flops(node: Node) -> int:
+    """FLOPs for a single-sample forward pass through ``node``."""
+    if node.op is OpType.CONV:
+        c_out, oh, ow = node.out_shape
+        c_in = node.attrs["in_channels"]
+        k = node.attrs["kernel"]
+        return 2 * c_in * k * k * c_out * oh * ow
+    if node.op is OpType.FC:
+        return 2 * node.attrs["in_features"] * node.attrs["out_features"]
+    if node.op is OpType.BATCH_NORM:
+        # scale + shift per element (inference form: mean/var are folded)
+        return 2 * _numel(node.out_shape)
+    if node.op in (OpType.RELU, OpType.ADD):
+        return _numel(node.out_shape)
+    if node.op is OpType.MAX_POOL:
+        k = node.attrs["kernel"]
+        return k * k * _numel(node.out_shape)
+    if node.op is OpType.GLOBAL_AVG_POOL:
+        return _numel(node.in_shape)
+    return 0  # INPUT / OUTPUT / FLATTEN move data, no arithmetic
+
+
+def count_graph_flops(graph: Graph) -> int:
+    """Total forward-pass FLOPs of a traced model (batch size 1)."""
+    return sum(node_flops(node) for node in graph.nodes())

@@ -1,0 +1,161 @@
+"""Graph IR: typed operator nodes in a networkx DAG."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+import networkx as nx
+
+__all__ = ["OpType", "Node", "Graph"]
+
+
+class OpType(str, enum.Enum):
+    """Operator vocabulary of the IR (the ops ResNet-18 variants use)."""
+
+    INPUT = "input"
+    CONV = "conv"
+    BATCH_NORM = "batch_norm"
+    RELU = "relu"
+    MAX_POOL = "max_pool"
+    GLOBAL_AVG_POOL = "global_avg_pool"
+    FLATTEN = "flatten"
+    FC = "fc"
+    ADD = "add"
+    OUTPUT = "output"
+
+
+@dataclass
+class Node:
+    """One operator in the IR.
+
+    Attributes
+    ----------
+    name:
+        Unique node name (qualified module path, e.g. ``layer2.0.conv1``).
+    op:
+        Operator type.
+    in_shape / out_shape:
+        Data shapes excluding the batch dimension — ``(C, H, W)`` for
+        spatial tensors, ``(F,)`` after flattening.
+    attrs:
+        Operator attributes (kernel, stride, padding, channels, ...).
+    params:
+        Number of trainable scalars owned by the op.
+    """
+
+    name: str
+    op: OpType
+    in_shape: tuple[int, ...]
+    out_shape: tuple[int, ...]
+    attrs: dict[str, Any] = field(default_factory=dict)
+    params: int = 0
+
+    def __post_init__(self) -> None:
+        self.in_shape = tuple(int(d) for d in self.in_shape)
+        self.out_shape = tuple(int(d) for d in self.out_shape)
+        for dim in self.in_shape + self.out_shape:
+            if dim < 1:
+                raise ValueError(f"node {self.name!r} has a non-positive dimension: "
+                                 f"in={self.in_shape} out={self.out_shape}")
+
+
+class Graph:
+    """An operator DAG with topological iteration and validation.
+
+    Nodes are :class:`Node` objects; edges carry data-flow direction.
+    """
+
+    def __init__(self) -> None:
+        self._g = nx.DiGraph()
+
+    # -- construction ------------------------------------------------------------
+
+    def add_node(self, node: Node) -> Node:
+        """Insert a node; names must be unique."""
+        if node.name in self._g:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        self._g.add_node(node.name, node=node)
+        return node
+
+    def add_edge(self, src: Node | str, dst: Node | str) -> None:
+        """Connect producer ``src`` to consumer ``dst``."""
+        src_name = src.name if isinstance(src, Node) else src
+        dst_name = dst.name if isinstance(dst, Node) else dst
+        for name in (src_name, dst_name):
+            if name not in self._g:
+                raise KeyError(f"unknown node {name!r}")
+        self._g.add_edge(src_name, dst_name)
+
+    # -- access -------------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._g
+
+    def __len__(self) -> int:
+        return self._g.number_of_nodes()
+
+    def node(self, name: str) -> Node:
+        """Look up a node by name."""
+        return self._g.nodes[name]["node"]
+
+    def nodes(self) -> Iterator[Node]:
+        """All nodes in insertion order."""
+        for name in self._g.nodes:
+            yield self._g.nodes[name]["node"]
+
+    def topological(self) -> list[Node]:
+        """Nodes in a topological order (raises on cycles)."""
+        return [self._g.nodes[name]["node"] for name in nx.topological_sort(self._g)]
+
+    def predecessors(self, node: Node | str) -> list[Node]:
+        """Producer nodes feeding ``node``."""
+        name = node.name if isinstance(node, Node) else node
+        return [self._g.nodes[p]["node"] for p in self._g.predecessors(name)]
+
+    def successors(self, node: Node | str) -> list[Node]:
+        """Consumer nodes fed by ``node``."""
+        name = node.name if isinstance(node, Node) else node
+        return [self._g.nodes[s]["node"] for s in self._g.successors(name)]
+
+    def ops(self, op: OpType) -> list[Node]:
+        """All nodes of a given operator type."""
+        return [n for n in self.nodes() if n.op is op]
+
+    @property
+    def nx(self) -> nx.DiGraph:
+        """The underlying networkx graph (read-only by convention)."""
+        return self._g
+
+    # -- derived quantities ----------------------------------------------------------
+
+    def total_params(self) -> int:
+        """Sum of parameters over all nodes."""
+        return sum(n.params for n in self.nodes())
+
+    def validate(self) -> None:
+        """Check the IR is a connected DAG with consistent shapes.
+
+        Raises ``ValueError`` on: cycles, dangling non-IO nodes, or an edge
+        whose producer output shape disagrees with the consumer input shape
+        (ADD nodes compare against each producer individually).
+        """
+        if not nx.is_directed_acyclic_graph(self._g):
+            raise ValueError("graph contains a cycle")
+        for node in self.nodes():
+            preds = self.predecessors(node)
+            succs = self.successors(node)
+            if node.op is not OpType.INPUT and not preds:
+                raise ValueError(f"non-input node {node.name!r} has no producers")
+            if node.op is not OpType.OUTPUT and not succs:
+                raise ValueError(f"non-output node {node.name!r} has no consumers")
+            for pred in preds:
+                if pred.out_shape != node.in_shape:
+                    raise ValueError(
+                        f"shape mismatch on edge {pred.name!r} -> {node.name!r}: "
+                        f"{pred.out_shape} != {node.in_shape}"
+                    )
+
+    def __repr__(self) -> str:
+        return f"Graph(nodes={len(self)}, edges={self._g.number_of_edges()})"

@@ -1,0 +1,27 @@
+"""Shape arithmetic shared by the tracer, exporter and latency predictors."""
+
+from __future__ import annotations
+
+__all__ = ["conv_out_hw", "pool_out_hw"]
+
+
+def conv_out_hw(hw: tuple[int, int], kernel: int, stride: int, padding: int) -> tuple[int, int]:
+    """Output (H, W) of a convolution; raises if the map collapses."""
+    h, w = hw
+    out_h = (h + 2 * padding - kernel) // stride + 1
+    out_w = (w + 2 * padding - kernel) // stride + 1
+    if out_h < 1 or out_w < 1:
+        raise ValueError(
+            f"convolution collapses {h}x{w} with kernel={kernel} stride={stride} padding={padding}"
+        )
+    return out_h, out_w
+
+
+def pool_out_hw(hw: tuple[int, int], kernel: int, stride: int) -> tuple[int, int]:
+    """Output (H, W) of an unpadded pooling window; raises if it collapses."""
+    h, w = hw
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    if out_h < 1 or out_w < 1:
+        raise ValueError(f"pooling collapses {h}x{w} with kernel={kernel} stride={stride}")
+    return out_h, out_w

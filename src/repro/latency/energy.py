@@ -1,0 +1,55 @@
+"""Inference energy estimation (library extension, not in the paper).
+
+Edge deployments ultimately budget *energy*, not just latency; this
+module extends the kernel cost model with a first-order energy estimate
+
+    E(kernel) = flops * pJ_per_flop + bytes * pJ_per_byte
+    E(model)  = sum over kernels + idle_power * predicted_latency
+
+The per-device coefficients below are order-of-magnitude figures for
+mobile-class silicon (~1 pJ/FLOP class compute, ~100 pJ/byte DRAM) and
+are **synthetic**: the paper reports no energy numbers, so there is
+nothing to calibrate against.  Useful for what-if analyses and as a
+fourth objective in :mod:`repro.pareto` demos.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.ir import Graph
+from repro.latency.devices import DEVICE_PROFILES, DeviceProfile, kernel_latency_ms
+from repro.latency.kernels import extract_kernels
+
+__all__ = ["EnergyModel", "ENERGY_MODELS", "estimate_energy_mj"]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """First-order energy coefficients of one device."""
+
+    device: str
+    pj_per_flop: float
+    pj_per_byte: float
+    idle_power_mw: float
+
+
+ENERGY_MODELS: dict[str, EnergyModel] = {
+    "cortexA76cpu": EnergyModel("cortexA76cpu", pj_per_flop=2.0, pj_per_byte=120.0, idle_power_mw=350.0),
+    "adreno640gpu": EnergyModel("adreno640gpu", pj_per_flop=0.8, pj_per_byte=100.0, idle_power_mw=450.0),
+    "adreno630gpu": EnergyModel("adreno630gpu", pj_per_flop=0.9, pj_per_byte=110.0, idle_power_mw=420.0),
+    "myriadvpu": EnergyModel("myriadvpu", pj_per_flop=0.5, pj_per_byte=90.0, idle_power_mw=1200.0),
+}
+
+
+def estimate_energy_mj(graph: Graph, device: str = "cortexA76cpu") -> float:
+    """Estimated single-inference energy in millijoules on ``device``."""
+    if device not in ENERGY_MODELS:
+        raise KeyError(f"no energy model for {device!r}; known: {sorted(ENERGY_MODELS)}")
+    model = ENERGY_MODELS[device]
+    profile: DeviceProfile = DEVICE_PROFILES[device]
+    kernels = extract_kernels(graph)
+    dynamic_pj = sum(k.flops * model.pj_per_flop + k.memory_bytes * model.pj_per_byte for k in kernels)
+    latency_ms = sum(kernel_latency_ms(k, profile) for k in kernels)
+    idle_mj = model.idle_power_mw * latency_ms / 1e6  # mW * ms -> uJ -> mJ
+    return dynamic_pj / 1e9 + idle_mj

@@ -1,0 +1,98 @@
+"""Operator fusion: group IR nodes into runtime kernels.
+
+Edge inference runtimes (TFLite, OpenVINO) execute *fused* kernels —
+a convolution with its following batch-norm and ReLU is one dispatch.
+nn-Meter's kernel detection mirrors this; we implement the same rules:
+
+- ``CONV (+ BATCH_NORM) (+ RELU)`` -> one kernel (linear chains only);
+- ``ADD (+ RELU)`` -> one kernel;
+- every other op is its own kernel.
+
+Fusion only applies along single-consumer edges: a tensor consumed by two
+ops (e.g. the block input feeding both conv1 and the skip path) must be
+materialized and cannot be folded away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.ir import Graph, Node, OpType
+
+__all__ = ["FusedOp", "fuse_graph"]
+
+# Fusable follower sets, in chain order.
+_CONV_FOLLOWERS = (OpType.BATCH_NORM, OpType.RELU)
+_ADD_FOLLOWERS = (OpType.RELU,)
+
+
+@dataclass
+class FusedOp:
+    """A fused kernel: its lead node plus the folded followers."""
+
+    lead: Node
+    folded: list[Node] = field(default_factory=list)
+
+    @property
+    def nodes(self) -> list[Node]:
+        """All IR nodes covered by this kernel, lead first."""
+        return [self.lead, *self.folded]
+
+    @property
+    def out_shape(self) -> tuple[int, ...]:
+        """Output shape of the fused kernel (last folded node's output)."""
+        return self.nodes[-1].out_shape
+
+    @property
+    def name(self) -> str:
+        """Kernel name, derived from the lead node."""
+        return self.lead.name
+
+
+def _chain_follower(graph: Graph, node: Node, allowed: tuple[OpType, ...]) -> Node | None:
+    """The unique consumer of ``node`` if it is fusable, else None."""
+    succs = graph.successors(node)
+    if len(succs) != 1:
+        return None
+    follower = succs[0]
+    if follower.op not in allowed:
+        return None
+    # The follower must have node as its only producer (ADD never fuses in).
+    if len(graph.predecessors(follower)) != 1:
+        return None
+    return follower
+
+
+def fuse_graph(graph: Graph) -> list[FusedOp]:
+    """Partition the IR into fused kernels, in topological order.
+
+    Every non-IO node lands in exactly one :class:`FusedOp`.
+    """
+    consumed: set[str] = set()
+    fused: list[FusedOp] = []
+    for node in graph.topological():
+        if node.op in (OpType.INPUT, OpType.OUTPUT) or node.name in consumed:
+            continue
+        op = FusedOp(lead=node)
+        consumed.add(node.name)
+        if node.op is OpType.CONV:
+            followers = _CONV_FOLLOWERS
+        elif node.op is OpType.ADD:
+            followers = _ADD_FOLLOWERS
+        else:
+            followers = ()
+        current = node
+        remaining = list(followers)
+        while remaining:
+            follower = _chain_follower(graph, current, (remaining[0],))
+            if follower is None:
+                # Allow skipping an optional stage (e.g. conv followed
+                # directly by relu with no bn) by trying the next type.
+                remaining.pop(0)
+                continue
+            op.folded.append(follower)
+            consumed.add(follower.name)
+            current = follower
+            remaining.pop(0)
+        fused.append(op)
+    return fused

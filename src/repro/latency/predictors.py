@@ -1,0 +1,132 @@
+"""Per-device latency predictors and the paper's 4-device aggregation.
+
+The paper's latency objective is the *mean* predicted latency across the
+four nn-Meter predictors, with its standard deviation reported as
+``lat_std`` (Tables 4-5).  :func:`predict_all_devices` reproduces exactly
+that aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.ir import Graph
+from repro.graph.trace import trace_model
+from repro.latency.devices import DEVICE_PROFILES, DeviceProfile, kernel_latency_ms
+from repro.latency.kernels import Kernel, extract_kernels
+from repro.nn.resnet import SearchableResNet18
+
+__all__ = ["LatencyPredictor", "LatencySummary", "predict_all_devices", "batch_latency_ms", "simulate_measurement"]
+
+
+class LatencyPredictor:
+    """Predicts single-image inference latency for one device profile."""
+
+    def __init__(self, profile: DeviceProfile) -> None:
+        self.profile = profile
+
+    @property
+    def name(self) -> str:
+        """Predictor name (e.g. ``cortexA76cpu``)."""
+        return self.profile.name
+
+    def predict_kernels(self, kernels: list[Kernel]) -> list[float]:
+        """Per-kernel latencies in ms, in execution order."""
+        return [kernel_latency_ms(k, self.profile) for k in kernels]
+
+    def predict_graph(self, graph: Graph) -> float:
+        """Total predicted latency (ms) for a traced model graph."""
+        return float(sum(self.predict_kernels(extract_kernels(graph))))
+
+    def predict_model(self, model: SearchableResNet18, input_hw: tuple[int, int] = (100, 100)) -> float:
+        """Trace ``model`` and predict its latency (ms)."""
+        return self.predict_graph(trace_model(model, input_hw=input_hw))
+
+    def __repr__(self) -> str:
+        return f"LatencyPredictor({self.name})"
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """The paper's latency objective: cross-device mean and spread."""
+
+    per_device_ms: dict[str, float]
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean over the four predictors ('latency' column)."""
+        return float(np.mean(list(self.per_device_ms.values())))
+
+    @property
+    def std_ms(self) -> float:
+        """Population std over the predictors ('lat_std' column)."""
+        return float(np.std(list(self.per_device_ms.values())))
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat record: per-device values plus mean/std."""
+        out = dict(self.per_device_ms)
+        out["latency_ms"] = self.mean_ms
+        out["lat_std"] = self.std_ms
+        return out
+
+
+def batch_latency_ms(graph: Graph, batch: int, profile: DeviceProfile) -> float:
+    """Predicted latency of a batched forward pass (library extension).
+
+    The paper (like nn-Meter) predicts single-image latency: its Table-5
+    values are identical across batch sizes.  For throughput planning,
+    this extension scales each kernel's compute and memory terms by the
+    batch while keeping per-kernel dispatch overhead and pool penalties
+    constant — so batching amortizes fixed costs but not bandwidth.
+    """
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    from repro.latency.devices import KERNEL_EFFICIENCY
+
+    total = 0.0
+    for kernel in extract_kernels(graph):
+        efficiency = KERNEL_EFFICIENCY.get(kernel.kernel_type, 0.5)
+        if kernel.conv_kernel > 3:
+            efficiency *= (3.0 / kernel.conv_kernel) ** 3
+        # Runtimes tile batched work per image, so the cache-pressure
+        # slowdown is that of the single-image working set.
+        slowdown = 1.0 + kernel.memory_bytes / (profile.cache_mb * 1e6)
+        compute_ms = batch * slowdown * kernel.flops / (profile.throughput_gflops * efficiency * 1e6)
+        activation_bytes = kernel.input_bytes + kernel.output_bytes
+        memory_ms = (batch * activation_bytes + kernel.weight_bytes) / (profile.bandwidth_gbps * 1e6)
+        total += profile.overhead_ms + compute_ms + memory_ms
+        if kernel.kernel_type == "maxpool":
+            total += profile.pool_penalty_ms
+    return float(total)
+
+
+def simulate_measurement(
+    predicted_ms: float,
+    profile: DeviceProfile,
+    rng: np.random.Generator,
+) -> float:
+    """A simulated on-device latency measurement for a prediction.
+
+    Real nn-Meter validates its predictors against hardware runs; this
+    library has no hardware, so measurements are drawn around the
+    prediction with the device's characteristic variability
+    (``measurement_noise``), calibrated so the +-10% accuracy statistic
+    reproduces paper Table 2.
+    """
+    return float(predicted_ms * max(rng.normal(1.0, profile.measurement_noise), 0.05))
+
+
+def predict_all_devices(
+    graph: Graph,
+    profiles: dict[str, DeviceProfile] | None = None,
+) -> LatencySummary:
+    """Predict a traced graph's latency on every device profile."""
+    profiles = DEVICE_PROFILES if profiles is None else profiles
+    kernels = extract_kernels(graph)
+    per_device = {
+        name: float(sum(kernel_latency_ms(k, profile) for k in kernels))
+        for name, profile in profiles.items()
+    }
+    return LatencySummary(per_device_ms=per_device)

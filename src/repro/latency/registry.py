@@ -1,0 +1,35 @@
+"""Name-based predictor lookup and the Table-2 metadata view."""
+
+from __future__ import annotations
+
+from repro.latency.devices import DEVICE_PROFILES
+from repro.latency.predictors import LatencyPredictor
+
+__all__ = ["get_predictor", "list_predictors", "PREDICTOR_METADATA"]
+
+
+def list_predictors() -> list[str]:
+    """Names of all available device predictors."""
+    return list(DEVICE_PROFILES)
+
+
+def get_predictor(name: str) -> LatencyPredictor:
+    """Build the predictor for a device by name (case-insensitive)."""
+    key = name.strip()
+    for candidate in DEVICE_PROFILES:
+        if candidate.lower() == key.lower():
+            return LatencyPredictor(DEVICE_PROFILES[candidate])
+    raise KeyError(f"unknown predictor {name!r}; known: {list_predictors()}")
+
+
+#: Paper Table 2, reconstructed from the device profiles.
+PREDICTOR_METADATA: list[dict[str, object]] = [
+    {
+        "hardware_name": profile.name,
+        "device": profile.device,
+        "framework": profile.framework,
+        "processor": profile.processor,
+        "accuracy_pm10": f"{profile.reported_accuracy * 100:.2f}%",
+    }
+    for profile in DEVICE_PROFILES.values()
+]

@@ -1,0 +1,38 @@
+"""Human-readable latency breakdowns."""
+
+from __future__ import annotations
+
+from repro.graph.ir import Graph
+from repro.latency.devices import DEVICE_PROFILES, DeviceProfile, kernel_latency_ms
+from repro.latency.kernels import extract_kernels
+from repro.utils.tables import render_table
+
+__all__ = ["latency_breakdown", "breakdown_table"]
+
+
+def latency_breakdown(graph: Graph, profile: DeviceProfile) -> list[dict]:
+    """Per-kernel latency rows for one device, slowest first."""
+    kernels = extract_kernels(graph)
+    costs = [(k, kernel_latency_ms(k, profile)) for k in kernels]
+    total = sum(ms for _, ms in costs) or 1.0
+    rows = []
+    for kernel, ms in sorted(costs, key=lambda kc: -kc[1]):
+        rows.append(
+            {
+                "kernel": kernel.name,
+                "type": kernel.kernel_type,
+                "ms": round(ms, 4),
+                "share": f"{100.0 * ms / total:.1f}%",
+                "mflops": round(kernel.flops / 1e6, 2),
+                "kb_moved": round(kernel.memory_bytes / 1e3, 1),
+            }
+        )
+    return rows
+
+
+def breakdown_table(graph: Graph, device: str = "cortexA76cpu", top: int = 10) -> str:
+    """Rendered top-``top`` kernel table for a device."""
+    profile = DEVICE_PROFILES[device]
+    rows = latency_breakdown(graph, profile)
+    total = sum(r["ms"] for r in rows)
+    return render_table(rows[:top], title=f"Latency breakdown on {device} (total {total:.2f} ms)")

@@ -1,0 +1,15 @@
+"""Memory estimation: model storage and inference working memory."""
+
+from repro.memory.estimator import (
+    activation_memory_bytes,
+    model_storage_mb,
+    parameter_memory_bytes,
+    peak_inference_memory_bytes,
+)
+
+__all__ = [
+    "parameter_memory_bytes",
+    "activation_memory_bytes",
+    "peak_inference_memory_bytes",
+    "model_storage_mb",
+]

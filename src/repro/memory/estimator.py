@@ -1,0 +1,90 @@
+"""Memory estimators over the graph IR.
+
+The paper's memory objective is file size (see :mod:`repro.onnxlite`);
+these estimators add the quantities an embedded deployment additionally
+cares about — parameter bytes and peak activation working set — used by
+the profiling bench and available for richer objective sets.
+"""
+
+from __future__ import annotations
+
+from repro.graph.ir import Graph, OpType
+from repro.graph.trace import trace_model
+from repro.nn.resnet import SearchableResNet18
+from repro.onnxlite.size import model_size_mb
+
+__all__ = [
+    "parameter_memory_bytes",
+    "activation_memory_bytes",
+    "peak_inference_memory_bytes",
+    "model_storage_mb",
+]
+
+_BYTES = 4  # float32
+
+
+def _numel(shape: tuple[int, ...]) -> int:
+    n = 1
+    for d in shape:
+        n *= d
+    return n
+
+
+def parameter_memory_bytes(graph: Graph) -> int:
+    """Bytes of all trainable parameters (fp32)."""
+    return graph.total_params() * _BYTES
+
+
+def activation_memory_bytes(graph: Graph, batch: int = 1) -> int:
+    """Sum of all activation tensors for one forward pass."""
+    total = 0
+    for node in graph.nodes():
+        if node.op in (OpType.INPUT, OpType.OUTPUT):
+            continue
+        total += _numel(node.out_shape)
+    return total * _BYTES * batch
+
+
+def peak_inference_memory_bytes(graph: Graph, batch: int = 1) -> int:
+    """Peak simultaneous activation memory under sequential execution.
+
+    At each step the live set is the executing node's input(s) and output;
+    residual additions keep the skip tensor alive across the block body,
+    which the traversal accounts for by keeping every tensor alive until
+    its last consumer has run.
+    """
+    order = graph.topological()
+    position = {node.name: i for i, node in enumerate(order)}
+    # Last consumer index per produced tensor.
+    last_use: dict[str, int] = {}
+    for node in order:
+        for pred in graph.predecessors(node):
+            last_use[pred.name] = max(last_use.get(pred.name, -1), position[node.name])
+
+    live: dict[str, int] = {}
+    peak = 0
+    for i, node in enumerate(order):
+        if node.op is not OpType.OUTPUT:
+            live[node.name] = _numel(node.out_shape)
+        current = sum(live.values())
+        peak = max(peak, current)
+        # Free tensors whose last consumer just ran.
+        for name in [n for n, last in last_use.items() if last == i]:
+            live.pop(name, None)
+    return peak * _BYTES * batch
+
+
+def model_storage_mb(model: SearchableResNet18, input_hw: tuple[int, int] = (100, 100)) -> float:
+    """The paper's memory objective (onnxlite file size, MB)."""
+    return model_size_mb(model, input_hw=input_hw)
+
+
+def memory_report(model: SearchableResNet18, input_hw: tuple[int, int] = (100, 100), batch: int = 1) -> dict:
+    """All memory figures for one model."""
+    graph = trace_model(model, input_hw=input_hw)
+    return {
+        "storage_mb": model_storage_mb(model, input_hw=input_hw),
+        "parameter_bytes": parameter_memory_bytes(graph),
+        "activation_bytes": activation_memory_bytes(graph, batch=batch),
+        "peak_inference_bytes": peak_inference_memory_bytes(graph, batch=batch),
+    }

@@ -1,0 +1,140 @@
+"""Model configurations: one point of the paper's search space.
+
+A :class:`ModelConfig` combines the input-data knobs (channels, batch
+size) with the seven architectural knobs of Figure 2.  It is hashable,
+JSON-round-trippable, and carries the *canonical key* used to recognize
+that 'no pool' configurations with different pool kernel/stride settings
+denote the same architecture (the coincidence the paper notes in
+Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Mapping
+
+from repro.utils.rng import stable_hash
+
+__all__ = ["ModelConfig", "CHANNEL_CHOICES", "BATCH_CHOICES", "BASELINE_ARCH"]
+
+CHANNEL_CHOICES = (5, 7)
+BATCH_CHOICES = (8, 16, 32)
+
+#: Architectural knobs of the stock ResNet-18 baseline.
+BASELINE_ARCH = {
+    "kernel_size": 7,
+    "stride": 2,
+    "padding": 3,
+    "pool_choice": 1,
+    "kernel_size_pool": 3,
+    "stride_pool": 2,
+    "initial_output_feature": 64,
+}
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """One search-space point (input combination + architecture)."""
+
+    channels: int
+    batch: int
+    kernel_size: int
+    stride: int
+    padding: int
+    pool_choice: int
+    kernel_size_pool: int
+    stride_pool: int
+    initial_output_feature: int
+
+    def __post_init__(self) -> None:
+        if self.channels not in CHANNEL_CHOICES:
+            raise ValueError(f"channels must be one of {CHANNEL_CHOICES}, got {self.channels}")
+        if self.batch < 1:
+            raise ValueError(f"batch must be positive, got {self.batch}")
+        if self.pool_choice not in (0, 1):
+            raise ValueError(f"pool_choice must be 0 or 1, got {self.pool_choice}")
+        for name in ("kernel_size", "stride"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be positive, got {getattr(self, name)}")
+        if self.padding < 0:
+            raise ValueError(f"padding must be non-negative, got {self.padding}")
+        # Pool geometry only matters when pooling is enabled; canonicalized
+        # no-pool configs carry zeros there.
+        if self.pool_choice == 1:
+            for name in ("kernel_size_pool", "stride_pool"):
+                if getattr(self, name) < 1:
+                    raise ValueError(f"{name} must be positive when pooling, got {getattr(self, name)}")
+        if self.initial_output_feature < 1:
+            raise ValueError(f"initial_output_feature must be positive, got {self.initial_output_feature}")
+
+    # -- identity ------------------------------------------------------------------
+
+    def canonical(self) -> "ModelConfig":
+        """Collapse pool kernel/stride when pooling is disabled.
+
+        Two 'no pool' configs differing only in the (unused) pool
+        parameters build identical networks; canonicalization makes them
+        compare equal.
+        """
+        if self.pool_choice == 0:
+            return replace(self, kernel_size_pool=0, stride_pool=0)
+        return self
+
+    def architecture_key(self) -> tuple[int, ...]:
+        """Hashable identity of the *network* (input combo excluded)."""
+        c = self.canonical()
+        return (
+            c.channels,
+            c.kernel_size,
+            c.stride,
+            c.padding,
+            c.pool_choice,
+            c.kernel_size_pool,
+            c.stride_pool,
+            c.initial_output_feature,
+        )
+
+    def config_id(self) -> str:
+        """Stable short hex id of the full configuration."""
+        return f"{stable_hash(self.to_dict(), bits=64):016x}"
+
+    # -- serialization ---------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, int]:
+        """Plain-dict form (JSON-safe)."""
+        return {k: int(v) for k, v in asdict(self).items()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ModelConfig":
+        """Inverse of :meth:`to_dict`; ignores unknown keys."""
+        fields = {f: int(data[f]) for f in cls.__dataclass_fields__}
+        return cls(**fields)
+
+    @classmethod
+    def baseline(cls, channels: int = 5, batch: int = 16) -> "ModelConfig":
+        """The stock ResNet-18 benchmark configuration (paper Table 5)."""
+        return cls(channels=channels, batch=batch, **BASELINE_ARCH)
+
+    # -- derived geometry ---------------------------------------------------------------
+
+    def stem_downsample(self) -> int:
+        """Total spatial downsampling factor of the stem (conv x pool)."""
+        factor = self.stride
+        if self.pool_choice == 1:
+            factor *= self.stride_pool
+        return factor
+
+    def is_valid_for(self, input_hw: tuple[int, int] = (100, 100)) -> bool:
+        """Whether the config yields positive spatial sizes end to end."""
+        from repro.graph.shapes import conv_out_hw, pool_out_hw
+
+        try:
+            hw = conv_out_hw(input_hw, self.kernel_size, self.stride, self.padding)
+            if self.pool_choice == 1:
+                hw = pool_out_hw(hw, self.kernel_size_pool, self.stride_pool)
+            # Four stages: strides 1, 2, 2, 2 with 3x3/pad-1 convs.
+            for stage_stride in (1, 2, 2, 2):
+                hw = conv_out_hw(hw, 3, stage_stride, 1)
+        except ValueError:
+            return False
+        return True

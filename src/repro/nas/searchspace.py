@@ -1,0 +1,161 @@
+"""The Figure-2 search space: choices, enumeration, cardinality.
+
+The paper's space per input combination:
+
+====================== ==================== ========
+knob                   choices              count
+====================== ==================== ========
+kernel_size            3, 7                 2
+stride                 1, 2                 2
+padding                1, 2, 3              3
+pool_choice            no pool / pool       2
+kernel_size_pool       2, 3                 2
+stride_pool            1, 2                 2
+initial_output_feature 32, 48, 64           3
+====================== ==================== ========
+
+Product = 288 configurations per input combination; with 2 channel counts
+and 3 batch sizes the full grid launches 6 x 288 = 1,728 trials.  The
+'no pool' half of the grid collapses 4:1 onto unique architectures
+(Section 3.2's "certain configurations may coincide"), which
+:meth:`SearchSpace.unique_architectures` accounts for.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.nas.config import BATCH_CHOICES, CHANNEL_CHOICES, ModelConfig
+from repro.utils.rng import rng_from_seed
+
+__all__ = ["SearchSpace", "DEFAULT_SPACE", "enumerate_input_combinations"]
+
+
+def enumerate_input_combinations(
+    channels: Sequence[int] = CHANNEL_CHOICES,
+    batches: Sequence[int] = BATCH_CHOICES,
+) -> list[tuple[int, int]]:
+    """All (channels, batch) input combinations — the paper's six variants."""
+    return [(c, b) for c in channels for b in batches]
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """A discrete architectural search space over :class:`ModelConfig`.
+
+    The defaults reproduce Figure 2 exactly; benches for the Discussion's
+    pruning ablation construct restricted spaces (e.g. ``padding=(1,)``).
+    """
+
+    kernel_size: tuple[int, ...] = (3, 7)
+    stride: tuple[int, ...] = (1, 2)
+    padding: tuple[int, ...] = (1, 2, 3)
+    pool_choice: tuple[int, ...] = (0, 1)
+    kernel_size_pool: tuple[int, ...] = (2, 3)
+    stride_pool: tuple[int, ...] = (1, 2)
+    initial_output_feature: tuple[int, ...] = (32, 48, 64)
+    channels: tuple[int, ...] = CHANNEL_CHOICES
+    batches: tuple[int, ...] = BATCH_CHOICES
+
+    _ARCH_FIELDS = (
+        "kernel_size",
+        "stride",
+        "padding",
+        "pool_choice",
+        "kernel_size_pool",
+        "stride_pool",
+        "initial_output_feature",
+    )
+
+    def __post_init__(self) -> None:
+        for name in self._ARCH_FIELDS + ("channels", "batches"):
+            if not getattr(self, name):
+                raise ValueError(f"search-space dimension {name!r} is empty")
+
+    # -- cardinality -------------------------------------------------------------
+
+    def architectures_per_combination(self) -> int:
+        """Raw grid size per input combination (paper: 288)."""
+        count = 1
+        for name in self._ARCH_FIELDS:
+            count *= len(getattr(self, name))
+        return count
+
+    def total_configurations(self) -> int:
+        """Raw grid size over all input combinations (paper: 1,728)."""
+        return self.architectures_per_combination() * len(self.channels) * len(self.batches)
+
+    def unique_architectures_per_combination(self) -> int:
+        """Distinct networks per combination after no-pool collapsing."""
+        base = 1
+        for name in ("kernel_size", "stride", "padding", "initial_output_feature"):
+            base *= len(getattr(self, name))
+        pool_variants = 0
+        if 1 in self.pool_choice:
+            pool_variants += len(self.kernel_size_pool) * len(self.stride_pool)
+        if 0 in self.pool_choice:
+            pool_variants += 1
+        return base * pool_variants
+
+    # -- enumeration ----------------------------------------------------------------
+
+    def iter_architectures(self, channels: int, batch: int) -> Iterator[ModelConfig]:
+        """Grid order enumeration for one input combination."""
+        for values in itertools.product(*(getattr(self, f) for f in self._ARCH_FIELDS)):
+            yield ModelConfig(channels=channels, batch=batch, **dict(zip(self._ARCH_FIELDS, values)))
+
+    def iter_all(self) -> Iterator[ModelConfig]:
+        """Grid enumeration over every input combination (1,728 configs)."""
+        for channels, batch in enumerate_input_combinations(self.channels, self.batches):
+            yield from self.iter_architectures(channels, batch)
+
+    def configs(self) -> list[ModelConfig]:
+        """The full grid as a list."""
+        return list(self.iter_all())
+
+    def sample(self, rng, count: int = 1) -> list[ModelConfig]:
+        """Uniform random configurations (with replacement)."""
+        generator = rng_from_seed(rng)
+
+        def pick(options):
+            return options[int(generator.integers(0, len(options)))]
+
+        out = []
+        for _ in range(count):
+            out.append(
+                ModelConfig(
+                    channels=pick(self.channels),
+                    batch=pick(self.batches),
+                    **{f: pick(getattr(self, f)) for f in self._ARCH_FIELDS},
+                )
+            )
+        return out
+
+    def neighbors(self, config: ModelConfig, rng) -> ModelConfig:
+        """Mutate one knob uniformly (used by regularized evolution)."""
+        generator = rng_from_seed(rng)
+        mutable = list(self._ARCH_FIELDS) + ["channels", "batch"]
+        field_name = mutable[int(generator.integers(0, len(mutable)))]
+        options = self.batches if field_name == "batch" else getattr(self, field_name if field_name != "channels" else "channels")
+        current = getattr(config, field_name)
+        alternatives = [v for v in options if v != current]
+        if not alternatives:
+            return config
+        new_value = alternatives[int(generator.integers(0, len(alternatives)))]
+        from dataclasses import replace
+
+        return replace(config, **{field_name: new_value})
+
+    def contains(self, config: ModelConfig) -> bool:
+        """Whether a configuration lies on this grid."""
+        return (
+            config.channels in self.channels
+            and config.batch in self.batches
+            and all(getattr(config, f) in getattr(self, f) for f in self._ARCH_FIELDS)
+        )
+
+
+#: The paper's exact search space.
+DEFAULT_SPACE = SearchSpace()

@@ -1,0 +1,87 @@
+"""JSONL-backed trial database.
+
+Long sweeps append each finished trial immediately, so an interrupted
+experiment loses at most the in-flight trial; reloading the store resumes
+exactly where the run stopped (the NNI experiment-database role).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.nas.config import ModelConfig
+from repro.nas.trial import TrialRecord
+from repro.utils.io import iter_jsonl, write_jsonl
+
+__all__ = ["TrialStore"]
+
+
+class TrialStore:
+    """An append-only collection of :class:`TrialRecord`.
+
+    Parameters
+    ----------
+    path:
+        Optional JSONL file; when given, every :meth:`add` appends a line
+        and :meth:`load` restores previous runs.
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._records: list[TrialRecord] = []
+        self._by_config: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TrialRecord]:
+        return iter(self._records)
+
+    def records(self, ok_only: bool = False) -> list[TrialRecord]:
+        """All records (optionally only successful ones)."""
+        if ok_only:
+            return [r for r in self._records if r.ok]
+        return list(self._records)
+
+    def add(self, record: TrialRecord) -> None:
+        """Append a record (and persist it if a path is configured)."""
+        self._records.append(record)
+        self._by_config[record.config.config_id()] = len(self._records) - 1
+        if self.path is not None:
+            write_jsonl(self.path, [record.to_dict()], append=True)
+
+    def extend(self, records: Iterable[TrialRecord]) -> None:
+        """Append many records."""
+        for record in records:
+            self.add(record)
+
+    def find(self, config: ModelConfig) -> TrialRecord | None:
+        """The latest record for a configuration, if any."""
+        idx = self._by_config.get(config.config_id())
+        return self._records[idx] if idx is not None else None
+
+    def load(self) -> int:
+        """Load records from the configured path; returns the count added."""
+        if self.path is None:
+            raise ValueError("this store has no backing path")
+        if not self.path.exists():
+            return 0
+        count = 0
+        for raw in iter_jsonl(self.path):
+            record = TrialRecord.from_dict(raw)
+            self._records.append(record)
+            self._by_config[record.config.config_id()] = len(self._records) - 1
+            count += 1
+        return count
+
+    def best_by_accuracy(self) -> TrialRecord:
+        """Highest-accuracy successful trial."""
+        ok = self.records(ok_only=True)
+        if not ok:
+            raise ValueError("store has no successful trials")
+        return max(ok, key=lambda r: r.accuracy)
+
+    def analysis_records(self) -> list[dict]:
+        """Flat objective records of successful trials (Pareto input)."""
+        return [r.as_analysis_record() for r in self.records(ok_only=True)]

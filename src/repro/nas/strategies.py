@@ -1,0 +1,131 @@
+"""Search strategies: how configurations are proposed.
+
+The paper runs an exhaustive grid (every NNI trial); :class:`GridSearch`
+reproduces that.  :class:`RandomSearch` and :class:`RegularizedEvolution`
+are the standard NNI alternatives, provided for budget-limited searches
+and for the strategy-comparison ablation bench.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Callable, Iterator
+
+from repro.nas.config import ModelConfig
+from repro.nas.searchspace import SearchSpace
+from repro.utils.rng import rng_from_seed
+
+__all__ = ["SearchStrategy", "GridSearch", "RandomSearch", "RegularizedEvolution"]
+
+#: Feedback type: the strategy learns each proposed config's score.
+Objective = float
+
+
+class SearchStrategy:
+    """Interface: propose configurations, optionally consuming feedback."""
+
+    def propose(self, budget: int) -> Iterator[ModelConfig]:
+        """Yield up to ``budget`` configurations to evaluate."""
+        raise NotImplementedError
+
+    def observe(self, config: ModelConfig, score: Objective) -> None:
+        """Feed back the score of a completed trial (default: ignore)."""
+
+    def observe_record(self, config: ModelConfig, record) -> None:
+        """Feed back the full trial record.
+
+        The default forwards the scalar accuracy to :meth:`observe`;
+        multi-objective strategies override this to see latency/memory too.
+        """
+        self.observe(config, record.accuracy)
+
+
+class GridSearch(SearchStrategy):
+    """Exhaustive grid enumeration — the paper's strategy."""
+
+    def __init__(self, space: SearchSpace) -> None:
+        self.space = space
+
+    def propose(self, budget: int) -> Iterator[ModelConfig]:
+        for i, config in enumerate(self.space.iter_all()):
+            if i >= budget:
+                return
+            yield config
+
+
+class RandomSearch(SearchStrategy):
+    """Uniform random sampling without replacement (up to the grid size)."""
+
+    def __init__(self, space: SearchSpace, seed: int = 0) -> None:
+        self.space = space
+        self.seed = seed
+
+    def propose(self, budget: int) -> Iterator[ModelConfig]:
+        rng = rng_from_seed(self.seed)
+        seen: set[str] = set()
+        total = self.space.total_configurations()
+        produced = 0
+        attempts = 0
+        while produced < min(budget, total) and attempts < 50 * budget + 100:
+            attempts += 1
+            (config,) = self.space.sample(rng, 1)
+            key = config.config_id()
+            if key in seen:
+                continue
+            seen.add(key)
+            produced += 1
+            yield config
+
+
+class RegularizedEvolution(SearchStrategy):
+    """Aging evolution (Real et al. 2019): tournament + mutate + age out.
+
+    Maintains a fixed-size population; each step samples a tournament,
+    mutates the winner's best configuration, and retires the oldest
+    member.  ``observe`` must be called with each proposed config's score
+    before the next proposal is drawn.
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        population_size: int = 24,
+        tournament_size: int = 8,
+        seed: int = 0,
+    ) -> None:
+        if population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        if not 1 <= tournament_size <= population_size:
+            raise ValueError("tournament_size must be in [1, population_size]")
+        self.space = space
+        self.population_size = population_size
+        self.tournament_size = tournament_size
+        self.seed = seed
+        self._population: collections.deque[tuple[ModelConfig, Objective]] = collections.deque()
+        self._pending: dict[str, ModelConfig] = {}
+
+    def observe(self, config: ModelConfig, score: Objective) -> None:
+        key = config.config_id()
+        self._pending.pop(key, None)
+        self._population.append((config, score))
+        while len(self._population) > self.population_size:
+            self._population.popleft()  # age out the oldest
+
+    def propose(self, budget: int) -> Iterator[ModelConfig]:
+        rng = rng_from_seed(self.seed)
+        for step in range(budget):
+            if len(self._population) < self.population_size:
+                (config,) = self.space.sample(rng, 1)
+            else:
+                members = list(self._population)
+                picks = rng.choice(len(members), size=self.tournament_size, replace=False)
+                parent = max((members[i] for i in picks), key=lambda cs: cs[1])[0]
+                config = self.space.neighbors(parent, rng)
+            self._pending[config.config_id()] = config
+            yield config
+
+    def best(self) -> tuple[ModelConfig, Objective]:
+        """Best (config, score) currently in the population."""
+        if not self._population:
+            raise ValueError("population is empty")
+        return max(self._population, key=lambda cs: cs[1])

@@ -1,0 +1,84 @@
+"""Experiment run telemetry: progress, throughput, ETA.
+
+The paper reports NNI experiment wall-times (9h20m-29h per input
+combination); :class:`RunTelemetry` captures the equivalent statistics
+for this library's sweeps and renders them live through the Experiment's
+progress callback.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.nas.trial import TrialRecord
+from repro.utils.timing import format_duration
+
+__all__ = ["RunTelemetry"]
+
+
+@dataclass
+class RunTelemetry:
+    """Collects per-trial durations and derives run-level statistics.
+
+    Use as an Experiment progress callback::
+
+        telemetry = RunTelemetry()
+        Experiment(..., progress=telemetry).run(budget)
+        print(telemetry.summary())
+    """
+
+    started_at: float = field(default_factory=time.perf_counter)
+    durations: list[float] = field(default_factory=list)
+    failures: int = 0
+    total: int = 0
+    log_every: int = 0  # 0 disables live printing
+    _done: int = 0
+
+    def __call__(self, done: int, total: int, record: TrialRecord) -> None:
+        """Experiment progress hook."""
+        self._done = done
+        self.total = total
+        self.durations.append(record.duration_s)
+        if not record.ok:
+            self.failures += 1
+        if self.log_every and done % self.log_every == 0:
+            print(f"  [{done}/{total}] {self.eta_line()}")
+
+    @property
+    def elapsed_s(self) -> float:
+        return time.perf_counter() - self.started_at
+
+    @property
+    def mean_trial_s(self) -> float:
+        """Mean wall time per completed trial."""
+        return sum(self.durations) / len(self.durations) if self.durations else 0.0
+
+    @property
+    def trials_per_second(self) -> float:
+        return self._done / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def eta_seconds(self) -> float:
+        """Estimated remaining time from the observed rate."""
+        remaining = max(self.total - self._done, 0)
+        rate = self.trials_per_second
+        return remaining / rate if rate > 0 else float("inf")
+
+    def eta_line(self) -> str:
+        """One-line progress status."""
+        eta = self.eta_seconds()
+        eta_text = format_duration(eta) if eta != float("inf") else "?"
+        return (
+            f"{self._done}/{self.total} trials, "
+            f"{self.trials_per_second:.1f}/s, eta {eta_text}, "
+            f"{self.failures} failed"
+        )
+
+    def summary(self) -> str:
+        """End-of-run report."""
+        slowest = max(self.durations) if self.durations else 0.0
+        return (
+            f"completed {self._done}/{self.total} trials in {format_duration(self.elapsed_s)} "
+            f"({self.failures} failed); mean trial {format_duration(self.mean_trial_s)}, "
+            f"slowest {format_duration(slowest)}"
+        )

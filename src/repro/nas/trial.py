@@ -1,0 +1,100 @@
+"""Trial records: everything one NAS evaluation produces."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.nas.config import ModelConfig
+
+__all__ = ["TrialStatus", "TrialRecord"]
+
+
+class TrialStatus(str, enum.Enum):
+    """Lifecycle state of one trial."""
+
+    OK = "ok"
+    FAILED = "failed"
+
+
+@dataclass
+class TrialRecord:
+    """One evaluated configuration with all three objective values.
+
+    ``fold_accuracies`` holds the 5-fold CV results whose mean is the
+    paper's 'accuracy' column; ``per_device_ms`` holds the four nn-Meter
+    style predictions whose mean/std are 'latency' and 'lat_std'.
+    """
+
+    trial_id: int
+    config: ModelConfig
+    status: TrialStatus = TrialStatus.OK
+    accuracy: float = 0.0
+    fold_accuracies: tuple[float, ...] = ()
+    latency_ms: float = 0.0
+    lat_std: float = 0.0
+    per_device_ms: dict[str, float] = field(default_factory=dict)
+    memory_mb: float = 0.0
+    param_count: int = 0
+    flops: int = 0
+    duration_s: float = 0.0
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """Whether the trial completed successfully."""
+        return self.status is TrialStatus.OK
+
+    def objectives(self) -> dict[str, float]:
+        """The three paper objectives as a flat record."""
+        return {
+            "accuracy": self.accuracy,
+            "latency_ms": self.latency_ms,
+            "memory_mb": self.memory_mb,
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation."""
+        return {
+            "trial_id": self.trial_id,
+            "config": self.config.to_dict(),
+            "status": self.status.value,
+            "accuracy": self.accuracy,
+            "fold_accuracies": list(self.fold_accuracies),
+            "latency_ms": self.latency_ms,
+            "lat_std": self.lat_std,
+            "per_device_ms": dict(self.per_device_ms),
+            "memory_mb": self.memory_mb,
+            "param_count": self.param_count,
+            "flops": self.flops,
+            "duration_s": self.duration_s,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TrialRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            trial_id=int(data["trial_id"]),
+            config=ModelConfig.from_dict(data["config"]),
+            status=TrialStatus(data.get("status", "ok")),
+            accuracy=float(data.get("accuracy", 0.0)),
+            fold_accuracies=tuple(float(a) for a in data.get("fold_accuracies", ())),
+            latency_ms=float(data.get("latency_ms", 0.0)),
+            lat_std=float(data.get("lat_std", 0.0)),
+            per_device_ms={k: float(v) for k, v in data.get("per_device_ms", {}).items()},
+            memory_mb=float(data.get("memory_mb", 0.0)),
+            param_count=int(data.get("param_count", 0)),
+            flops=int(data.get("flops", 0)),
+            duration_s=float(data.get("duration_s", 0.0)),
+            error=str(data.get("error", "")),
+        )
+
+    def as_analysis_record(self) -> dict[str, Any]:
+        """Flat record for :class:`repro.pareto.ParetoAnalysis` and reports."""
+        row = self.objectives()
+        row.update(self.config.to_dict())
+        row["trial_id"] = self.trial_id
+        row["lat_std"] = self.lat_std
+        return row

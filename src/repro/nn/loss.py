@@ -1,0 +1,25 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor.functional import cross_entropy_logits
+from repro.tensor.tensor import Tensor
+
+__all__ = ["CrossEntropyLoss"]
+
+
+class CrossEntropyLoss(Module):
+    """Mean cross-entropy over raw logits and integer targets.
+
+    The drainage-crossing task is binary, but the loss is written for any
+    number of classes (the final FC layer emits 2 logits, as in the paper).
+    """
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return cross_entropy_logits(logits, targets)
+
+    def __repr__(self) -> str:
+        return "CrossEntropyLoss()"

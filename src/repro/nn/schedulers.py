@@ -1,0 +1,92 @@
+"""Learning-rate schedulers.
+
+The paper trains each trial for a fixed 5 epochs at constant LR; these
+schedulers support the library's longer standalone training runs (step
+decay, cosine annealing, linear warmup) with the PyTorch convention of
+calling :meth:`step` once per epoch.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.nn.optim import Optimizer
+
+__all__ = ["LRScheduler", "StepLR", "CosineAnnealingLR", "WarmupWrapper"]
+
+
+class LRScheduler:
+    """Base scheduler: tracks epochs and rewrites ``optimizer.lr``."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        if not hasattr(optimizer, "lr"):
+            raise TypeError(f"{type(optimizer).__name__} has no lr attribute")
+        self.optimizer = optimizer
+        self.base_lr = float(optimizer.lr)
+        self.epoch = 0
+
+    def get_lr(self) -> float:
+        """The learning rate for the current epoch; subclasses override."""
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch and apply the new learning rate."""
+        self.epoch += 1
+        lr = self.get_lr()
+        self.optimizer.lr = lr
+        return lr
+
+    @property
+    def current_lr(self) -> float:
+        """The optimizer's current learning rate."""
+        return float(self.optimizer.lr)
+
+
+class StepLR(LRScheduler):
+    """Multiply the LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_size < 1:
+            raise ValueError(f"step_size must be >= 1, got {step_size}")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.epoch // self.step_size)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base LR to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if t_max < 1:
+            raise ValueError(f"t_max must be >= 1, got {t_max}")
+        if eta_min < 0:
+            raise ValueError(f"eta_min must be non-negative, got {eta_min}")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self) -> float:
+        progress = min(self.epoch, self.t_max) / self.t_max
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (1.0 + math.cos(math.pi * progress))
+
+
+class WarmupWrapper(LRScheduler):
+    """Linear warmup for ``warmup_epochs`` then delegate to another scheduler."""
+
+    def __init__(self, scheduler: LRScheduler, warmup_epochs: int) -> None:
+        if warmup_epochs < 1:
+            raise ValueError(f"warmup_epochs must be >= 1, got {warmup_epochs}")
+        super().__init__(scheduler.optimizer)
+        self.inner = scheduler
+        self.warmup_epochs = warmup_epochs
+
+    def get_lr(self) -> float:
+        if self.epoch <= self.warmup_epochs:
+            return self.base_lr * self.epoch / self.warmup_epochs
+        self.inner.epoch = self.epoch - self.warmup_epochs
+        return self.inner.get_lr()

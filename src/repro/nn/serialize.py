@@ -1,0 +1,74 @@
+"""State-dict serialization to a compact binary container.
+
+The format is a tiny subset of NPZ-like framing: a JSON header describing
+tensor names/shapes/dtypes followed by raw little-endian array bytes.  Used
+for checkpointing trained trial models; the ONNX-style *model* export (used
+for the memory objective) lives in :mod:`repro.onnxlite`.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["state_dict_to_bytes", "state_dict_from_bytes", "save_state_dict", "load_state_dict"]
+
+_MAGIC = b"RPSD"
+_VERSION = 1
+
+
+def state_dict_to_bytes(state: dict[str, np.ndarray]) -> bytes:
+    """Serialize a state dict to bytes (stable key order)."""
+    entries = []
+    blobs = []
+    offset = 0
+    for name in sorted(state):
+        array = np.ascontiguousarray(state[name])
+        raw = array.tobytes()
+        entries.append(
+            {
+                "name": name,
+                "dtype": array.dtype.str,
+                "shape": list(array.shape),
+                "offset": offset,
+                "nbytes": len(raw),
+            }
+        )
+        blobs.append(raw)
+        offset += len(raw)
+    header = json.dumps({"version": _VERSION, "tensors": entries}).encode("utf-8")
+    return _MAGIC + struct.pack("<I", len(header)) + header + b"".join(blobs)
+
+
+def state_dict_from_bytes(payload: bytes) -> dict[str, np.ndarray]:
+    """Inverse of :func:`state_dict_to_bytes`."""
+    if payload[:4] != _MAGIC:
+        raise ValueError("not a repro state-dict payload (bad magic)")
+    (header_len,) = struct.unpack("<I", payload[4:8])
+    header = json.loads(payload[8 : 8 + header_len].decode("utf-8"))
+    if header.get("version") != _VERSION:
+        raise ValueError(f"unsupported state-dict version {header.get('version')}")
+    body = payload[8 + header_len :]
+    state: dict[str, np.ndarray] = {}
+    for entry in header["tensors"]:
+        start, nbytes = entry["offset"], entry["nbytes"]
+        array = np.frombuffer(body[start : start + nbytes], dtype=np.dtype(entry["dtype"]))
+        state[entry["name"]] = array.reshape(entry["shape"]).copy()
+    return state
+
+
+def save_state_dict(module: Module, path: str | Path) -> int:
+    """Write a module's state dict to ``path``; returns the byte size."""
+    payload = state_dict_to_bytes(module.state_dict())
+    Path(path).write_bytes(payload)
+    return len(payload)
+
+
+def load_state_dict(module: Module, path: str | Path) -> None:
+    """Load a state dict written by :func:`save_state_dict` into ``module``."""
+    module.load_state_dict(state_dict_from_bytes(Path(path).read_bytes()))

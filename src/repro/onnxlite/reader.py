@@ -1,0 +1,59 @@
+"""Read onnxlite containers back into :class:`ModelProto` objects."""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.onnxlite.schema import FORMAT_MAGIC, FORMAT_VERSION, ModelProto, OperatorProto, TensorProto
+
+__all__ = ["load_model", "proto_from_bytes"]
+
+
+def proto_from_bytes(blob: bytes) -> ModelProto:
+    """Parse a serialized onnxlite container."""
+    if blob[:4] != FORMAT_MAGIC:
+        raise ValueError("not an onnxlite container (bad magic)")
+    version, header_len = struct.unpack("<II", blob[4:12])
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported onnxlite version {version}")
+    header = json.loads(blob[12 : 12 + header_len].decode("utf-8"))
+    payload = blob[12 + header_len :]
+
+    proto = ModelProto(
+        name=header["name"],
+        input_shape=tuple(header["input_shape"]),
+        output_shape=tuple(header["output_shape"]),
+        metadata=header.get("metadata", {}),
+    )
+    for op in header["operators"]:
+        proto.operators.append(
+            OperatorProto(
+                name=op["name"],
+                op_type=op["op_type"],
+                inputs=op["inputs"],
+                outputs=op["outputs"],
+                attrs=op["attrs"],
+            )
+        )
+    for entry in header["initializers"]:
+        start, nbytes = entry["offset"], entry["nbytes"]
+        dtype = np.dtype(entry.get("dtype", "float32"))
+        data = np.frombuffer(payload[start : start + nbytes], dtype=dtype)
+        proto.initializers.append(
+            TensorProto(
+                entry["name"],
+                data.reshape(entry["shape"]).copy(),
+                scale=float(entry.get("scale", 0.0)),
+                zero_point=int(entry.get("zero_point", 0)),
+            )
+        )
+    return proto
+
+
+def load_model(path: str | Path) -> ModelProto:
+    """Load an onnxlite file from disk."""
+    return proto_from_bytes(Path(path).read_bytes())

@@ -1,0 +1,97 @@
+"""In-memory schema of an onnxlite model: operators + initializers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["TensorProto", "OperatorProto", "ModelProto", "FORMAT_MAGIC", "FORMAT_VERSION"]
+
+FORMAT_MAGIC = b"ONXL"
+FORMAT_VERSION = 1
+
+
+#: Tensor payload dtypes the container supports (v1 files are all float32).
+SUPPORTED_DTYPES = ("float32", "int8", "int16")
+
+
+@dataclass
+class TensorProto:
+    """A named initializer (weight) tensor.
+
+    Quantized tensors carry integer codes plus their affine parameters
+    (``scale``, ``zero_point``); ``dequantized()`` reconstructs float32.
+    """
+
+    name: str
+    data: np.ndarray
+    scale: float = 0.0  # 0 marks an unquantized (float32) tensor
+    zero_point: int = 0
+
+    def __post_init__(self) -> None:
+        dtype = np.asarray(self.data).dtype.name
+        if dtype in ("int8", "int16") or self.scale > 0:
+            if self.scale <= 0:
+                raise ValueError(f"integer tensor {self.name!r} needs a positive scale")
+            self.data = np.ascontiguousarray(self.data)
+            if self.data.dtype.name not in ("int8", "int16"):
+                raise ValueError(f"quantized tensor {self.name!r} must be int8/int16, got {dtype}")
+        else:
+            self.data = np.ascontiguousarray(self.data, dtype=np.float32)
+
+    @property
+    def dtype(self) -> str:
+        """Payload dtype name."""
+        return self.data.dtype.name
+
+    @property
+    def quantized(self) -> bool:
+        """Whether the payload holds integer codes."""
+        return self.scale > 0
+
+    @property
+    def nbytes(self) -> int:
+        """Raw payload size in bytes."""
+        return self.data.nbytes
+
+    def dequantized(self) -> np.ndarray:
+        """The tensor as float32 (a copy for quantized payloads)."""
+        if not self.quantized:
+            return self.data
+        return ((self.data.astype(np.float64) - self.zero_point) * self.scale).astype(np.float32)
+
+
+@dataclass
+class OperatorProto:
+    """A graph operator: type, attributes, and dataflow names."""
+
+    name: str
+    op_type: str
+    inputs: list[str]
+    outputs: list[str]
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class ModelProto:
+    """A full serializable model: graph metadata, operators, initializers."""
+
+    name: str
+    input_shape: tuple[int, ...]
+    output_shape: tuple[int, ...]
+    operators: list[OperatorProto] = field(default_factory=list)
+    initializers: list[TensorProto] = field(default_factory=list)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def initializer(self, name: str) -> TensorProto:
+        """Look up an initializer by name."""
+        for tensor in self.initializers:
+            if tensor.name == name:
+                return tensor
+        raise KeyError(f"no initializer named {name!r}")
+
+    def parameter_count(self) -> int:
+        """Total scalar parameters across initializers."""
+        return sum(t.data.size for t in self.initializers)

@@ -1,0 +1,24 @@
+"""The memory objective: serialized model size in MB.
+
+Matches the paper's convention (Table 3/4/5 'memory (MB)'): the size of
+the exported model file divided by 1e6.
+"""
+
+from __future__ import annotations
+
+from repro.nn.resnet import SearchableResNet18
+from repro.onnxlite.export import export_model
+
+__all__ = ["model_size_bytes", "model_size_mb"]
+
+BYTES_PER_MB = 1_000_000.0
+
+
+def model_size_bytes(model: SearchableResNet18, input_hw: tuple[int, int] = (100, 100)) -> int:
+    """Exact size in bytes of the model's onnxlite serialization."""
+    return len(export_model(model, input_hw=input_hw))
+
+
+def model_size_mb(model: SearchableResNet18, input_hw: tuple[int, int] = (100, 100)) -> float:
+    """Model memory in MB (decimal, matching the paper's units)."""
+    return model_size_bytes(model, input_hw=input_hw) / BYTES_PER_MB

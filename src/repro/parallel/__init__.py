@@ -1,0 +1,23 @@
+"""Parallel trial execution (the paper Discussion's multi-GPU NAS, as
+multi-process CPU parallelism).
+
+- :mod:`~repro.parallel.executor` — a uniform ``map``-style interface with
+  serial and process-pool backends;
+- :mod:`~repro.parallel.partition` — deterministic work partitioning;
+- :mod:`~repro.parallel.scheduler` — longest-processing-time-first static
+  load balancing for heterogeneous trial costs.
+"""
+
+from repro.parallel.executor import Executor, SerialExecutor, ProcessPoolExecutorBackend, make_executor
+from repro.parallel.partition import chunk_evenly, chunk_fixed
+from repro.parallel.scheduler import lpt_schedule
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ProcessPoolExecutorBackend",
+    "make_executor",
+    "chunk_evenly",
+    "chunk_fixed",
+    "lpt_schedule",
+]

@@ -1,0 +1,80 @@
+"""Execution backends for embarrassingly parallel trial workloads.
+
+The experiment runner maps an evaluation function over many independent
+configurations — the structure the paper's Discussion proposes scaling
+across GPUs.  Here the same interface runs serially (default on one core)
+or over a process pool; tasks must be picklable top-level callables.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from typing import Callable, Iterable, Sequence, TypeVar
+
+__all__ = ["Executor", "SerialExecutor", "ProcessPoolExecutorBackend", "make_executor"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class Executor:
+    """Interface: ordered map over independent tasks."""
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """Apply ``fn`` to every item, preserving input order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources (no-op by default)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """In-process sequential execution (deterministic, zero overhead)."""
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        return [fn(item) for item in items]
+
+
+class ProcessPoolExecutorBackend(Executor):
+    """Multi-process execution via :mod:`concurrent.futures`.
+
+    ``chunksize`` amortizes IPC overhead for cheap tasks; results are
+    returned in input order regardless of completion order.
+    """
+
+    def __init__(self, workers: int | None = None, chunksize: int = 1) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers or max(os.cpu_count() or 1, 1)
+        self.chunksize = max(chunksize, 1)
+        self._pool: concurrent.futures.ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = concurrent.futures.ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        pool = self._ensure_pool()
+        return list(pool.map(fn, items, chunksize=self.chunksize))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def make_executor(kind: str = "serial", workers: int | None = None) -> Executor:
+    """Factory: ``"serial"`` or ``"process"``."""
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "process":
+        return ProcessPoolExecutorBackend(workers=workers)
+    raise ValueError(f"unknown executor kind {kind!r}; use 'serial' or 'process'")

@@ -1,0 +1,35 @@
+"""Deterministic work partitioning."""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+__all__ = ["chunk_evenly", "chunk_fixed"]
+
+T = TypeVar("T")
+
+
+def chunk_evenly(items: Sequence[T], parts: int) -> list[list[T]]:
+    """Split ``items`` into ``parts`` contiguous chunks of near-equal size.
+
+    Sizes differ by at most one; earlier chunks get the extra items.
+    Empty chunks are produced when ``parts > len(items)``.
+    """
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    n = len(items)
+    base, extra = divmod(n, parts)
+    chunks: list[list[T]] = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        chunks.append(list(items[start : start + size]))
+        start += size
+    return chunks
+
+
+def chunk_fixed(items: Sequence[T], size: int) -> list[list[T]]:
+    """Split ``items`` into chunks of a fixed size (last may be smaller)."""
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    return [list(items[i : i + size]) for i in range(0, len(items), size)]

@@ -1,0 +1,44 @@
+"""Multi-objective (Pareto) analysis — paper Section 3.4.
+
+Provides dominance testing and non-dominated set extraction (a vectorized
+O(n^2) reference algorithm plus Kung's divide-and-conquer), objective
+normalization, and front-quality metrics (hypervolume, crowding distance,
+knee points).  The paper's three objectives — maximize accuracy, minimize
+latency, minimize memory — are expressed through :class:`ObjectiveSense`
+so the algorithms stay sign-agnostic.
+"""
+
+from repro.pareto.dominance import (
+    ObjectiveSense,
+    dominates,
+    non_dominated_mask,
+    non_dominated_mask_kung,
+    pareto_front_indices,
+)
+from repro.pareto.normalize import normalize_minmax
+from repro.pareto.analysis import ParetoAnalysis, ParetoResult
+from repro.pareto.metrics import crowding_distance, hypervolume, igd, knee_point_index, spread
+from repro.pareto.ranking import (
+    epsilon_non_dominated_mask,
+    fast_non_dominated_sort,
+    weak_non_dominated_mask,
+)
+
+__all__ = [
+    "fast_non_dominated_sort",
+    "weak_non_dominated_mask",
+    "epsilon_non_dominated_mask",
+    "igd",
+    "spread",
+    "ObjectiveSense",
+    "dominates",
+    "non_dominated_mask",
+    "non_dominated_mask_kung",
+    "pareto_front_indices",
+    "normalize_minmax",
+    "ParetoAnalysis",
+    "ParetoResult",
+    "crowding_distance",
+    "hypervolume",
+    "knee_point_index",
+]

@@ -1,0 +1,130 @@
+"""High-level Pareto analysis over trial records.
+
+:class:`ParetoAnalysis` wires the paper's three objectives to the
+dominance machinery and produces the artifacts the evaluation section
+reports: the non-dominated set (Table 4), objective ranges (Table 3) and
+normalized values for the figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.pareto.dominance import ObjectiveSense, pareto_front_indices
+from repro.pareto.metrics import crowding_distance, hypervolume, knee_point_index
+from repro.pareto.normalize import normalize_minmax
+
+__all__ = ["ParetoAnalysis", "ParetoResult", "PAPER_OBJECTIVES"]
+
+#: The paper's objective spec: (record key, sense).
+PAPER_OBJECTIVES: tuple[tuple[str, ObjectiveSense], ...] = (
+    ("accuracy", ObjectiveSense.MAX),
+    ("latency_ms", ObjectiveSense.MIN),
+    ("memory_mb", ObjectiveSense.MIN),
+)
+
+
+@dataclass
+class ParetoResult:
+    """Outcome of a Pareto analysis run."""
+
+    objective_keys: tuple[str, ...]
+    values: np.ndarray  # (n, d) raw objective values
+    front_indices: np.ndarray  # indices into the record list
+    normalized: np.ndarray  # (n, d) min-max normalized values
+
+    @property
+    def front_values(self) -> np.ndarray:
+        """Raw objective values of the non-dominated points."""
+        return self.values[self.front_indices]
+
+    def ranges(self) -> dict[str, tuple[float, float]]:
+        """Per-objective (min, max) over all points (paper Table 3)."""
+        return {
+            key: (float(self.values[:, j].min()), float(self.values[:, j].max()))
+            for j, key in enumerate(self.objective_keys)
+        }
+
+    def front_size(self) -> int:
+        """Number of non-dominated solutions."""
+        return int(self.front_indices.size)
+
+
+class ParetoAnalysis:
+    """Extracts the Pareto front from objective records.
+
+    Parameters
+    ----------
+    objectives:
+        ``(record key, sense)`` pairs; defaults to the paper's
+        accuracy/latency/memory triple.
+    algorithm:
+        Front-extraction algorithm (``"kung"`` or ``"naive"``).
+    """
+
+    def __init__(
+        self,
+        objectives: Sequence[tuple[str, ObjectiveSense]] = PAPER_OBJECTIVES,
+        algorithm: str = "kung",
+    ) -> None:
+        if not objectives:
+            raise ValueError("at least one objective is required")
+        self.objectives = tuple(objectives)
+        self.algorithm = algorithm
+
+    def extract_values(self, records: Sequence[Mapping[str, Any]]) -> np.ndarray:
+        """Collect the objective matrix from record dicts."""
+        if not records:
+            raise ValueError("no records to analyze")
+        keys = [key for key, _ in self.objectives]
+        try:
+            return np.array([[float(rec[key]) for key in keys] for rec in records])
+        except KeyError as exc:
+            raise KeyError(f"record is missing objective key {exc}") from None
+
+    def run(self, records: Sequence[Mapping[str, Any]]) -> ParetoResult:
+        """Full analysis: front extraction + normalization."""
+        values = self.extract_values(records)
+        senses = [sense for _, sense in self.objectives]
+        front = pareto_front_indices(values, senses, algorithm=self.algorithm)
+        return ParetoResult(
+            objective_keys=tuple(key for key, _ in self.objectives),
+            values=values,
+            front_indices=front,
+            normalized=normalize_minmax(values),
+        )
+
+    def front_records(self, records: Sequence[Mapping[str, Any]]) -> list[Mapping[str, Any]]:
+        """The non-dominated records themselves, in input order."""
+        result = self.run(records)
+        return [records[i] for i in result.front_indices]
+
+    def hypervolume(self, records: Sequence[Mapping[str, Any]], margin: float = 0.1) -> float:
+        """Normalized hypervolume of the front w.r.t. a (1+margin) reference."""
+        result = self.run(records)
+        senses = [sense for _, sense in self.objectives]
+        mins = result.normalized.copy()
+        for j, sense in enumerate(senses):
+            if sense is ObjectiveSense.MAX:
+                mins[:, j] = 1.0 - mins[:, j]
+        ref = np.full(mins.shape[1], 1.0 + margin)
+        return hypervolume(mins[result.front_indices], ref)
+
+    def knee_record(self, records: Sequence[Mapping[str, Any]]) -> Mapping[str, Any]:
+        """The balanced-tradeoff (knee) solution on the front."""
+        result = self.run(records)
+        senses = [sense for _, sense in self.objectives]
+        front_norm = result.normalized[result.front_indices].copy()
+        for j, sense in enumerate(senses):
+            if sense is ObjectiveSense.MAX:
+                front_norm[:, j] = 1.0 - front_norm[:, j]
+        knee = knee_point_index(front_norm)
+        return records[result.front_indices[knee]]
+
+    def crowding(self, records: Sequence[Mapping[str, Any]]) -> np.ndarray:
+        """Crowding distances of the front points."""
+        result = self.run(records)
+        return crowding_distance(result.normalized[result.front_indices])

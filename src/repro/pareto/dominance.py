@@ -1,0 +1,145 @@
+"""Pareto dominance and non-dominated set extraction.
+
+Internally every objective is converted to *minimization*; a point ``a``
+dominates ``b`` iff ``a <= b`` componentwise with at least one strict
+inequality.  Two extraction algorithms are provided:
+
+- :func:`non_dominated_mask` — vectorized pairwise comparison, O(n^2)
+  work but a single NumPy pass (chunked to bound memory); simple and the
+  reference implementation for testing.
+- :func:`non_dominated_mask_kung` — Kung's divide-and-conquer, the
+  classical O(n log^(d-2) n) algorithm; faster on large fronts and used
+  by the benchmark sweeps.
+
+Duplicated points never dominate each other (domination is strict), so
+identical configurations all survive, matching how the paper's analysis
+kept equal-objective trials.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "ObjectiveSense",
+    "to_minimization",
+    "dominates",
+    "non_dominated_mask",
+    "non_dominated_mask_kung",
+    "pareto_front_indices",
+]
+
+
+class ObjectiveSense(str, enum.Enum):
+    """Optimization direction of one objective."""
+
+    MIN = "min"
+    MAX = "max"
+
+
+def to_minimization(values: np.ndarray, senses: Sequence[ObjectiveSense]) -> np.ndarray:
+    """Flip maximized columns so every objective is minimized."""
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 2:
+        raise ValueError(f"expected an (n_points, n_objectives) array, got shape {values.shape}")
+    if values.shape[1] != len(senses):
+        raise ValueError(f"{values.shape[1]} objective columns but {len(senses)} senses")
+    out = values.copy()
+    for j, sense in enumerate(senses):
+        if sense is ObjectiveSense.MAX:
+            out[:, j] = -out[:, j]
+    return out
+
+
+def dominates(a: np.ndarray, b: np.ndarray) -> bool:
+    """True iff minimization-point ``a`` Pareto-dominates ``b``."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    return bool(np.all(a <= b) and np.any(a < b))
+
+
+def non_dominated_mask(values: np.ndarray, chunk: int = 256) -> np.ndarray:
+    """Boolean mask of non-dominated rows (minimization convention).
+
+    Vectorized pairwise comparison processed in row chunks so peak memory
+    stays at ``chunk * n * d`` floats.
+    """
+    values = np.asarray(values, dtype=float)
+    n = values.shape[0]
+    mask = np.ones(n, dtype=bool)
+    for start in range(0, n, chunk):
+        block = values[start : start + chunk]  # (c, d)
+        # dominated[i] for i in block: exists j with all<= and any<
+        leq = np.all(values[None, :, :] <= block[:, None, :], axis=2)  # (c, n)
+        lt = np.any(values[None, :, :] < block[:, None, :], axis=2)
+        dominated = np.any(leq & lt, axis=1)
+        mask[start : start + chunk] = ~dominated
+    return mask
+
+
+def _front_merge(top: np.ndarray, bottom: np.ndarray, vals: np.ndarray) -> np.ndarray:
+    """Indices of ``bottom`` not dominated by any index in ``top``."""
+    if top.size == 0 or bottom.size == 0:
+        return bottom
+    t = vals[top]  # (m, d)
+    b = vals[bottom]  # (k, d)
+    leq = np.all(t[None, :, :] <= b[:, None, :], axis=2)
+    lt = np.any(t[None, :, :] < b[:, None, :], axis=2)
+    dominated = np.any(leq & lt, axis=1)
+    return bottom[~dominated]
+
+
+def _kung(indices: np.ndarray, vals: np.ndarray) -> np.ndarray:
+    if indices.size <= 1:
+        return indices
+    half = indices.size // 2
+    top = _kung(indices[:half], vals)
+    bottom = _kung(indices[half:], vals)
+    survivors = _front_merge(top, bottom, vals)
+    return np.concatenate([top, survivors])
+
+
+def non_dominated_mask_kung(values: np.ndarray) -> np.ndarray:
+    """Kung's divide-and-conquer front extraction (minimization).
+
+    Rows are lexicographically sorted, halved recursively, and the bottom
+    half is filtered against the (already non-dominated) top half.
+    """
+    values = np.asarray(values, dtype=float)
+    n = values.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    order = np.lexsort(values.T[::-1])  # sort by col 0, then 1, ...
+    front = _kung(order, values)
+    mask = np.zeros(n, dtype=bool)
+    mask[front] = True
+    return mask
+
+
+def pareto_front_indices(
+    values: np.ndarray,
+    senses: Sequence[ObjectiveSense],
+    algorithm: str = "kung",
+) -> np.ndarray:
+    """Indices of the non-dominated points under the given senses.
+
+    Parameters
+    ----------
+    values:
+        ``(n_points, n_objectives)`` raw objective values.
+    senses:
+        Direction per objective column.
+    algorithm:
+        ``"kung"`` (default) or ``"naive"``.
+    """
+    mins = to_minimization(values, senses)
+    if algorithm == "kung":
+        mask = non_dominated_mask_kung(mins)
+    elif algorithm == "naive":
+        mask = non_dominated_mask(mins)
+    else:
+        raise ValueError(f"unknown algorithm {algorithm!r}; use 'kung' or 'naive'")
+    return np.flatnonzero(mask)

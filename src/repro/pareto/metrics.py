@@ -1,0 +1,140 @@
+"""Front-quality metrics: hypervolume, crowding distance, knee points.
+
+These go beyond the paper's analysis (which stops at front extraction) and
+support the ablation benches: hypervolume quantifies how much front quality
+a pruned search space gives up.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pareto.dominance import non_dominated_mask
+
+__all__ = ["hypervolume", "crowding_distance", "knee_point_index", "igd", "spread"]
+
+
+def _hv2d(points: np.ndarray, ref: np.ndarray) -> float:
+    """Exact 2-D hypervolume (minimization) by a sorted sweep."""
+    pts = points[np.argsort(points[:, 0])]
+    volume = 0.0
+    prev_y = ref[1]
+    for x, y in pts:
+        if y < prev_y:
+            volume += (ref[0] - x) * (prev_y - y)
+            prev_y = y
+    return volume
+
+
+def hypervolume(points: np.ndarray, reference: np.ndarray) -> float:
+    """Dominated hypervolume of a point set (minimization convention).
+
+    Supports 1-3 objectives; 3-D uses the slicing method: sweep the third
+    coordinate, accumulating 2-D volumes of the active non-dominated slice.
+    Points outside the reference box are ignored.
+    """
+    points = np.asarray(points, dtype=float)
+    reference = np.asarray(reference, dtype=float)
+    if points.ndim != 2 or points.shape[1] != reference.shape[0]:
+        raise ValueError("points must be (n, d) with reference of length d")
+    inside = np.all(points < reference, axis=1)
+    points = points[inside]
+    if points.shape[0] == 0:
+        return 0.0
+    points = points[non_dominated_mask(points)]
+    d = points.shape[1]
+    if d == 1:
+        return float(reference[0] - points.min())
+    if d == 2:
+        return float(_hv2d(points, reference))
+    if d != 3:
+        raise ValueError(f"hypervolume implemented for d <= 3, got d={d}")
+
+    # Slice along z: between consecutive z levels the dominated area in
+    # (x, y) is that of all points with smaller-or-equal z.
+    order = np.argsort(points[:, 2])
+    zs = points[order, 2]
+    volume = 0.0
+    for i, idx in enumerate(order):
+        z_lo = zs[i]
+        z_hi = zs[i + 1] if i + 1 < len(zs) else reference[2]
+        if z_hi <= z_lo:
+            continue
+        active = points[order[: i + 1], :2]
+        active = active[non_dominated_mask(active)]
+        volume += _hv2d(active, reference[:2]) * (z_hi - z_lo)
+    return float(volume)
+
+
+def crowding_distance(points: np.ndarray) -> np.ndarray:
+    """NSGA-II crowding distance of each point within its front.
+
+    Boundary points get ``inf``; interior points get the normalized side
+    length of the cuboid spanned by their nearest neighbors per objective.
+    """
+    points = np.asarray(points, dtype=float)
+    n, d = points.shape
+    if n <= 2:
+        return np.full(n, np.inf)
+    distance = np.zeros(n)
+    for j in range(d):
+        order = np.argsort(points[:, j], kind="stable")
+        col = points[order, j]
+        span = col[-1] - col[0]
+        distance[order[0]] = np.inf
+        distance[order[-1]] = np.inf
+        if span > 0:
+            distance[order[1:-1]] += (col[2:] - col[:-2]) / span
+    return distance
+
+
+def igd(front: np.ndarray, reference_front: np.ndarray) -> float:
+    """Inverted generational distance: how well ``front`` covers a reference.
+
+    Mean Euclidean distance from each reference point to its nearest
+    member of ``front``; 0 means the reference front is fully covered.
+    Used by the search-strategy benches to score budget-limited fronts
+    against the exhaustive grid's front.
+    """
+    front = np.asarray(front, dtype=float)
+    reference_front = np.asarray(reference_front, dtype=float)
+    if front.size == 0:
+        raise ValueError("empty candidate front")
+    if reference_front.size == 0:
+        raise ValueError("empty reference front")
+    distances = np.linalg.norm(reference_front[:, None, :] - front[None, :, :], axis=2)
+    return float(distances.min(axis=1).mean())
+
+
+def spread(points: np.ndarray) -> float:
+    """Front diversity: mean absolute deviation of consecutive gaps.
+
+    Points are ordered along their first objective; 0 means perfectly
+    uniform spacing (Deb's delta metric without the boundary terms).
+    """
+    points = np.asarray(points, dtype=float)
+    if points.shape[0] < 3:
+        return 0.0
+    ordered = points[np.argsort(points[:, 0])]
+    gaps = np.linalg.norm(np.diff(ordered, axis=0), axis=1)
+    mean_gap = gaps.mean()
+    if mean_gap == 0:
+        return 0.0
+    return float(np.abs(gaps - mean_gap).mean() / mean_gap)
+
+
+def knee_point_index(points: np.ndarray) -> int:
+    """Index of the knee: the point closest to the normalized ideal.
+
+    With all objectives minimized and min-max normalized, the ideal is the
+    origin; the knee is the front point with the smallest Euclidean norm —
+    the configuration a decision-maker with balanced preferences picks.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.shape[0] == 0:
+        raise ValueError("empty point set has no knee")
+    lo = points.min(axis=0)
+    hi = points.max(axis=0)
+    span = np.where(hi > lo, hi - lo, 1.0)
+    norm = (points - lo) / span
+    return int(np.argmin(np.linalg.norm(norm, axis=1)))

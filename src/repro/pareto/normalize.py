@@ -1,0 +1,21 @@
+"""Objective normalization (the paper normalizes Figure 3/4 axes)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["normalize_minmax"]
+
+
+def normalize_minmax(values: np.ndarray, axis: int = 0) -> np.ndarray:
+    """Min-max normalize to [0, 1] along ``axis``.
+
+    Constant columns map to 0.5 (the paper's radar plots need a defined
+    position even when every Pareto solution shares a value, e.g. memory).
+    """
+    values = np.asarray(values, dtype=float)
+    lo = values.min(axis=axis, keepdims=True)
+    hi = values.max(axis=axis, keepdims=True)
+    span = hi - lo
+    out = np.where(span > 0, (values - lo) / np.where(span > 0, span, 1.0), 0.5)
+    return out

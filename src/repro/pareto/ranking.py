@@ -1,0 +1,106 @@
+"""Non-dominated sorting into ranks and alternative dominance relations.
+
+Beyond the paper's single-front extraction, these utilities support the
+NSGA-II-style multi-objective search strategy
+(:class:`repro.nas.moo.NSGAEvolution`) and the Table-4 membership analysis
+in EXPERIMENTS.md:
+
+- :func:`fast_non_dominated_sort` — Deb's O(M N^2) ranking into fronts;
+- :func:`weak_non_dominated_mask` — points survive unless another point is
+  strictly better in *every* objective (the relaxed relation under which
+  the paper's pooled Table-4 rows would survive at tied memory);
+- :func:`epsilon_non_dominated_mask` — epsilon-dominance front thinning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "fast_non_dominated_sort",
+    "weak_non_dominated_mask",
+    "epsilon_non_dominated_mask",
+]
+
+
+def fast_non_dominated_sort(values: np.ndarray) -> np.ndarray:
+    """Rank every point by Pareto front index (minimization).
+
+    Rank 0 is the global non-dominated front; removing ranks < r leaves
+    rank r as the new front (Deb et al. 2002, NSGA-II).
+
+    Returns
+    -------
+    np.ndarray
+        Integer ranks of shape ``(n,)``.
+    """
+    values = np.asarray(values, dtype=float)
+    n = values.shape[0]
+    ranks = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return ranks
+    # Pairwise dominance, vectorized once: dom[i, j] = i dominates j.
+    leq = np.all(values[:, None, :] <= values[None, :, :], axis=2)
+    lt = np.any(values[:, None, :] < values[None, :, :], axis=2)
+    dom = leq & lt
+    dominated_count = dom.sum(axis=0)  # how many points dominate j
+    current = np.flatnonzero(dominated_count == 0)
+    rank = 0
+    remaining = dominated_count.copy()
+    while current.size:
+        ranks[current] = rank
+        # Remove the current front; decrement counts of points they dominate.
+        decrement = dom[current].sum(axis=0)
+        remaining = remaining - decrement
+        remaining[current] = -1  # never reselect
+        rank += 1
+        current = np.flatnonzero(remaining == 0)
+    return ranks
+
+
+def weak_non_dominated_mask(values: np.ndarray) -> np.ndarray:
+    """Mask of points not *strictly* dominated in every objective.
+
+    A point is removed only if some other point is strictly smaller in all
+    objectives simultaneously.  Ties in any single objective protect a
+    point, so this front is always a superset of the standard one.
+    """
+    values = np.asarray(values, dtype=float)
+    n = values.shape[0]
+    mask = np.ones(n, dtype=bool)
+    for start in range(0, n, 256):
+        block = values[start : start + 256]
+        strictly_better = np.all(values[None, :, :] < block[:, None, :], axis=2)
+        mask[start : start + 256] = ~np.any(strictly_better, axis=1)
+    return mask
+
+
+def epsilon_non_dominated_mask(values: np.ndarray, epsilon: float | np.ndarray) -> np.ndarray:
+    """Additive epsilon-dominance filtering (minimization).
+
+    ``a`` epsilon-dominates ``b`` iff ``a - epsilon <= b`` in all
+    objectives and ``a - epsilon < b`` in at least one.  Larger epsilon
+    thins the front, yielding a small representative subset — useful when
+    presenting dozens of near-identical configurations to a decision maker.
+    """
+    values = np.asarray(values, dtype=float)
+    epsilon = np.broadcast_to(np.asarray(epsilon, dtype=float), (values.shape[1],))
+    if np.any(epsilon < 0):
+        raise ValueError("epsilon must be non-negative")
+    n = values.shape[0]
+    mask = np.ones(n, dtype=bool)
+    shifted = values - epsilon
+    order = np.lexsort(values.T[::-1])
+    kept: list[int] = []
+    for idx in order:
+        point = values[idx]
+        dominated = False
+        for keeper in kept:
+            if np.all(shifted[keeper] <= point) and np.any(shifted[keeper] < point):
+                dominated = True
+                break
+        if dominated:
+            mask[idx] = False
+        else:
+            kept.append(idx)
+    return mask

@@ -1,0 +1,6 @@
+"""Lightweight per-layer profiling (the Discussion's Nsight substitute)."""
+
+from repro.profiling.profiler import LayerProfiler, LayerProfile, profile_model
+from repro.profiling.report import profile_table
+
+__all__ = ["LayerProfiler", "LayerProfile", "profile_model", "profile_table"]

@@ -1,0 +1,115 @@
+"""Per-layer wall-time and FLOP profiling of a model's forward pass.
+
+The paper's Discussion proposes profiling NNI experiments (with NVIDIA
+Nsight) to tune trial counts and the search space; this module provides
+the equivalent signal for the NumPy substrate: per-layer wall time, FLOPs
+and achieved throughput, collected by running the real forward pass layer
+by layer.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.flops import node_flops
+from repro.graph.ir import OpType
+from repro.graph.trace import trace_model
+from repro.nn.resnet import SearchableResNet18
+from repro.tensor.tensor import Tensor, no_grad
+
+__all__ = ["LayerProfile", "LayerProfiler", "profile_model"]
+
+
+@dataclass(frozen=True)
+class LayerProfile:
+    """Timing record for one stage of the forward pass."""
+
+    name: str
+    seconds: float
+    flops: int
+
+    @property
+    def gflops_per_s(self) -> float:
+        """Achieved throughput."""
+        return self.flops / self.seconds / 1e9 if self.seconds > 0 else 0.0
+
+
+class LayerProfiler:
+    """Profiles a :class:`SearchableResNet18` stage by stage.
+
+    Stages follow the model's top-level structure (stem, four residual
+    stages, head) — the granularity at which the search space varies.
+    """
+
+    def __init__(self, model: SearchableResNet18) -> None:
+        self.model = model
+
+    def _stages(self):
+        m = self.model
+        yield "stem", lambda x: m.maxpool(m.relu(m.bn1(m.conv1(x))))
+        for i in range(1, 5):
+            stage = getattr(m, f"layer{i}")
+            yield f"layer{i}", stage
+        yield "head", lambda x: m.fc(m.avgpool(x))
+
+    def run(self, x: np.ndarray, repeats: int = 1) -> list[LayerProfile]:
+        """Profile a forward pass over input batch ``x``.
+
+        Each stage is timed with ``repeats`` repetitions (best-of to damp
+        scheduler noise); FLOPs come from the traced graph so throughput
+        is comparable across stages.
+        """
+        if repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {repeats}")
+        graph = trace_model(self.model, input_hw=x.shape[2:])
+        stage_flops = _flops_by_stage(graph)
+        batch = x.shape[0]
+        self.model.eval()
+        profiles: list[LayerProfile] = []
+        with no_grad():
+            current = Tensor(x)
+            for name, fn in self._stages():
+                best = float("inf")
+                out = None
+                for _ in range(repeats):
+                    begin = time.perf_counter()
+                    out = fn(current)
+                    best = min(best, time.perf_counter() - begin)
+                profiles.append(
+                    LayerProfile(name=name, seconds=best, flops=stage_flops.get(name, 0) * batch)
+                )
+                current = out
+        return profiles
+
+
+def _flops_by_stage(graph) -> dict[str, int]:
+    """Aggregate per-node FLOPs to the profiler's stage granularity."""
+    totals: dict[str, int] = {}
+    for node in graph.nodes():
+        if node.op in (OpType.INPUT, OpType.OUTPUT):
+            continue
+        name = node.name
+        if name.startswith("layer"):
+            stage = name.split(".", 1)[0]
+        elif name.startswith(("conv1", "bn1", "relu1", "maxpool")):
+            stage = "stem"
+        else:
+            stage = "head"
+        totals[stage] = totals.get(stage, 0) + node_flops(node)
+    return totals
+
+
+def profile_model(
+    model: SearchableResNet18,
+    batch: int = 4,
+    input_hw: tuple[int, int] = (64, 64),
+    repeats: int = 2,
+    seed: int = 0,
+) -> list[LayerProfile]:
+    """Convenience wrapper: profile with a random input batch."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(batch, model.in_channels, *input_hw)).astype(np.float32)
+    return LayerProfiler(model).run(x, repeats=repeats)

@@ -1,0 +1,38 @@
+"""Post-training quantization (library extension, paper future work).
+
+The paper targets resource-limited devices but evaluates fp32 models
+only; the standard next step for edge deployment is int8 post-training
+quantization.  This subpackage provides an honest simulation:
+
+- :mod:`~repro.quant.affine` — symmetric/affine per-tensor int8
+  quantization with exact round-trip arithmetic;
+- :mod:`~repro.quant.model` — quantize a model's weights (fake-quant:
+  quantize-dequantize in place) so real forward passes measure the true
+  accuracy cost on data, plus the int8 storage size for the memory
+  objective.
+"""
+
+from repro.quant.affine import AffineQuantizer, dequantize, quantize_affine, quantization_error
+from repro.quant.model import (
+    fake_quantize_model,
+    quantized_size_bytes,
+    quantized_size_mb,
+    quantize_state_dict,
+)
+from repro.quant.observer import ActivationObserver, ActivationRange
+from repro.quant.export import export_quantized_model, quantized_model_size_mb
+
+__all__ = [
+    "ActivationObserver",
+    "ActivationRange",
+    "export_quantized_model",
+    "quantized_model_size_mb",
+    "AffineQuantizer",
+    "quantize_affine",
+    "dequantize",
+    "quantization_error",
+    "quantize_state_dict",
+    "fake_quantize_model",
+    "quantized_size_bytes",
+    "quantized_size_mb",
+]

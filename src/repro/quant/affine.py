@@ -1,0 +1,110 @@
+"""Affine (scale + zero-point) integer quantization primitives.
+
+Implements the standard uniform quantizer used by TFLite/OpenVINO —
+the runtimes behind the paper's four latency predictors:
+
+    q = clip(round(x / scale) + zero_point, qmin, qmax)
+    x_hat = (q - zero_point) * scale
+
+Symmetric mode (zero_point = 0) is used for weights, asymmetric for
+activations; both are supported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AffineQuantizer", "quantize_affine", "dequantize", "quantization_error"]
+
+_DTYPE_RANGES = {
+    "int8": (-128, 127),
+    "uint8": (0, 255),
+    "int16": (-32768, 32767),
+}
+
+
+@dataclass(frozen=True)
+class AffineQuantizer:
+    """A fitted per-tensor quantizer."""
+
+    scale: float
+    zero_point: int
+    dtype: str = "int8"
+
+    def __post_init__(self) -> None:
+        if self.dtype not in _DTYPE_RANGES:
+            raise ValueError(f"unsupported dtype {self.dtype!r}; choose from {sorted(_DTYPE_RANGES)}")
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+
+    @property
+    def qmin(self) -> int:
+        return _DTYPE_RANGES[self.dtype][0]
+
+    @property
+    def qmax(self) -> int:
+        return _DTYPE_RANGES[self.dtype][1]
+
+    @classmethod
+    def fit(cls, values: np.ndarray, dtype: str = "int8", symmetric: bool = True) -> "AffineQuantizer":
+        """Calibrate scale/zero-point to a tensor's observed range.
+
+        Symmetric: scale covers ``max |x|`` with zero_point 0 (weight
+        convention).  Asymmetric: the full [min, max] interval maps onto
+        the integer range (activation convention).
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            raise ValueError("cannot fit a quantizer to an empty tensor")
+        qmin, qmax = _DTYPE_RANGES[dtype]
+        if symmetric:
+            bound = float(np.abs(values).max())
+            # max(..., 1e-12) also guards against denormal underflow of
+            # the division itself (e.g. |x| ~ 5e-324).
+            scale = max(bound / max(abs(qmin), qmax), 1e-12)
+            return cls(scale=scale, zero_point=0, dtype=dtype)
+        # TFLite convention: the representable range must include zero so
+        # zero-padding quantizes exactly; extend the observed range to 0.
+        lo = min(float(values.min()), 0.0)
+        hi = max(float(values.max()), 0.0)
+        if hi <= lo:
+            hi = lo + 1e-8
+        scale = max((hi - lo) / (qmax - qmin), 1e-12)
+        zero_point = int(round(qmin - lo / scale))
+        zero_point = int(np.clip(zero_point, qmin, qmax))
+        return cls(scale=scale, zero_point=zero_point, dtype=dtype)
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Float -> integer codes (numpy integer dtype)."""
+        q = np.round(np.asarray(values, dtype=np.float64) / self.scale) + self.zero_point
+        return np.clip(q, self.qmin, self.qmax).astype(self.dtype)
+
+    def dequantize(self, codes: np.ndarray) -> np.ndarray:
+        """Integer codes -> reconstructed float32."""
+        return ((codes.astype(np.float64) - self.zero_point) * self.scale).astype(np.float32)
+
+    def roundtrip(self, values: np.ndarray) -> np.ndarray:
+        """Quantize-dequantize (the fake-quant operation)."""
+        return self.dequantize(self.quantize(values))
+
+
+def quantize_affine(values: np.ndarray, dtype: str = "int8", symmetric: bool = True) -> tuple[np.ndarray, AffineQuantizer]:
+    """Fit a quantizer to ``values`` and return (codes, quantizer)."""
+    quantizer = AffineQuantizer.fit(values, dtype=dtype, symmetric=symmetric)
+    return quantizer.quantize(values), quantizer
+
+
+def dequantize(codes: np.ndarray, quantizer: AffineQuantizer) -> np.ndarray:
+    """Reconstruct float values from codes."""
+    return quantizer.dequantize(codes)
+
+
+def quantization_error(values: np.ndarray, dtype: str = "int8", symmetric: bool = True) -> float:
+    """RMS relative reconstruction error of quantizing ``values``."""
+    values = np.asarray(values, dtype=np.float64)
+    quantizer = AffineQuantizer.fit(values, dtype=dtype, symmetric=symmetric)
+    reconstructed = quantizer.roundtrip(values)
+    denom = np.sqrt(np.mean(values**2)) + 1e-12
+    return float(np.sqrt(np.mean((values - reconstructed) ** 2)) / denom)

@@ -1,0 +1,113 @@
+"""Activation-range observation for quantization calibration.
+
+Static int8 quantization (the mode OpenVINO uses on the paper's Myriad
+VPU) needs per-activation ranges gathered from calibration data.
+:class:`ActivationObserver` attaches forward hooks to a model's layers,
+records min/max of every activation over calibration batches, and fits
+asymmetric quantizers from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.quant.affine import AffineQuantizer
+
+__all__ = ["ActivationRange", "ActivationObserver"]
+
+
+@dataclass
+class ActivationRange:
+    """Running min/max of one layer's output."""
+
+    low: float = float("inf")
+    high: float = float("-inf")
+    batches: int = 0
+
+    def update(self, values: np.ndarray) -> None:
+        self.low = min(self.low, float(values.min()))
+        self.high = max(self.high, float(values.max()))
+        self.batches += 1
+
+    @property
+    def observed(self) -> bool:
+        return self.batches > 0
+
+
+class ActivationObserver:
+    """Collects activation ranges from a model's leaf layers.
+
+    Usage::
+
+        observer = ActivationObserver(model)
+        with observer:
+            for x, _ in calibration_batches:
+                model(Tensor(x))
+        quantizers = observer.fit_quantizers()
+
+    Only leaf modules (layers) are observed; container modules would
+    duplicate their children's outputs.
+    """
+
+    def __init__(self, model: Module, layer_types: tuple[type, ...] | None = None) -> None:
+        self.model = model
+        self.layer_types = layer_types
+        self.ranges: dict[str, ActivationRange] = {}
+        self._handles: list = []
+
+    def _should_observe(self, module: Module) -> bool:
+        if module._modules:  # containers are skipped
+            return False
+        if self.layer_types is not None:
+            return isinstance(module, self.layer_types)
+        return True
+
+    def attach(self) -> "ActivationObserver":
+        """Install hooks on every observed layer."""
+        if self._handles:
+            raise RuntimeError("observer is already attached")
+        for name, module in self.model.named_modules():
+            if not name or not self._should_observe(module):
+                continue
+            record = self.ranges.setdefault(name, ActivationRange())
+
+            def hook(mod, inputs, output, record=record):
+                data = getattr(output, "data", output)
+                record.update(np.asarray(data))
+
+            self._handles.append(module.register_forward_hook(hook))
+        return self
+
+    def detach(self) -> None:
+        """Remove all hooks (idempotent)."""
+        for handle in self._handles:
+            handle.remove()
+        self._handles.clear()
+
+    def __enter__(self) -> "ActivationObserver":
+        return self.attach()
+
+    def __exit__(self, *exc: object) -> None:
+        self.detach()
+
+    def fit_quantizers(self, dtype: str = "uint8") -> dict[str, AffineQuantizer]:
+        """Asymmetric quantizers for every observed activation."""
+        quantizers: dict[str, AffineQuantizer] = {}
+        for name, record in self.ranges.items():
+            if not record.observed:
+                continue
+            quantizers[name] = AffineQuantizer.fit(
+                np.array([record.low, record.high]), dtype=dtype, symmetric=False
+            )
+        return quantizers
+
+    def summary(self) -> list[dict]:
+        """Per-layer range rows (calibration report)."""
+        return [
+            {"layer": name, "min": round(r.low, 4), "max": round(r.high, 4), "batches": r.batches}
+            for name, r in self.ranges.items()
+            if r.observed
+        ]

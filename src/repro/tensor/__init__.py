@@ -1,0 +1,47 @@
+"""A small, vectorized autograd engine over float32 NumPy arrays.
+
+This subpackage replaces the paper's PyTorch dependency (see DESIGN.md,
+Section 2).  It provides:
+
+- :class:`~repro.tensor.tensor.Tensor` — reverse-mode autodiff over NumPy
+  arrays with broadcasting-aware gradients;
+- :mod:`~repro.tensor.functional` — activation, normalization and loss
+  primitives;
+- :mod:`~repro.tensor.conv_ops` — vectorized conv2d / pooling built on
+  ``numpy.lib.stride_tricks.sliding_window_view`` (no per-pixel Python
+  loops, per the HPC guide's vectorization idiom);
+- :mod:`~repro.tensor.grad_check` — finite-difference gradient checking.
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor.functional import (
+    batch_norm_2d,
+    cross_entropy_logits,
+    log_softmax,
+    relu,
+    sigmoid,
+    softmax,
+    tanh,
+)
+from repro.tensor.conv_ops import avg_pool2d, conv2d, global_avg_pool2d, max_pool2d, pool_output_size
+from repro.tensor.grad_check import check_gradients, numerical_gradient
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "relu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "cross_entropy_logits",
+    "batch_norm_2d",
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+    "pool_output_size",
+    "check_gradients",
+    "numerical_gradient",
+]

@@ -1,0 +1,179 @@
+"""Neural-network functional primitives on :class:`~repro.tensor.Tensor`.
+
+Everything here is expressed with numerically stable formulations
+(log-sum-exp shifted by the row maximum, epsilon-guarded variances) and
+hand-written backward closures, mirroring the operator set the paper's
+PyTorch models rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+__all__ = [
+    "relu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "cross_entropy_logits",
+    "batch_norm_2d",
+    "linear",
+    "dropout",
+]
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit, ``max(x, 0)``."""
+    return x.relu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid with a stable two-branch evaluation."""
+    data = x.data
+    out_data = np.empty_like(data)
+    pos = data >= 0
+    out_data[pos] = 1.0 / (1.0 + np.exp(-data[pos]))
+    ex = np.exp(data[~pos])
+    out_data[~pos] = ex / (1.0 + ex)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * out_data * (1.0 - out_data))
+
+    return Tensor._make(out_data, (x,), backward, "sigmoid")
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    out_data = np.tanh(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * (1.0 - out_data**2))
+
+    return Tensor._make(out_data, (x,), backward, "tanh")
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Log of the softmax along ``axis`` (stable: shifted by the max)."""
+    shift = x.data - x.data.max(axis=axis, keepdims=True)
+    logsumexp = np.log(np.exp(shift).sum(axis=axis, keepdims=True))
+    out_data = shift - logsumexp
+    softmax_data = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad - softmax_data * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out_data, (x,), backward, "log_softmax")
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis``."""
+    return log_softmax(x, axis=axis).exp()
+
+
+def cross_entropy_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between raw logits and integer class targets.
+
+    Parameters
+    ----------
+    logits:
+        ``(N, C)`` unnormalized scores.
+    targets:
+        ``(N,)`` integer class indices in ``[0, C)``.
+    """
+    targets = np.asarray(targets)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be (N, C), got shape {logits.shape}")
+    if targets.shape != (logits.shape[0],):
+        raise ValueError(f"targets shape {targets.shape} does not match logits {logits.shape}")
+    if targets.size and (targets.min() < 0 or targets.max() >= logits.shape[1]):
+        raise ValueError("target class index out of range")
+    n = logits.shape[0]
+    log_probs = log_softmax(logits, axis=1)
+    picked = log_probs[np.arange(n), targets]
+    return -picked.sum() * (1.0 / n)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` with ``weight`` of shape (out, in)."""
+    out = x @ weight.transpose(1, 0)
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def dropout(x: Tensor, p: float, rng: np.ndarray | None = None, training: bool = True) -> Tensor:
+    """Inverted dropout: zero with probability ``p``, rescale by 1/(1-p)."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    if not training or p == 0.0:
+        return x
+    generator = np.random.default_rng() if rng is None else rng
+    mask = (generator.random(x.shape) >= p).astype(np.float32) / (1.0 - p)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return Tensor._make(x.data * mask, (x,), backward, "dropout")
+
+
+def batch_norm_2d(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalization over an ``(N, C, H, W)`` tensor.
+
+    In training mode, normalizes by the batch statistics and updates the
+    running buffers in place (PyTorch's exponential-moving-average
+    convention); in eval mode, normalizes by the running buffers.
+    """
+    if x.ndim != 4:
+        raise ValueError(f"batch_norm_2d expects (N, C, H, W), got shape {x.shape}")
+    n, c, h, w = x.shape
+    if gamma.shape != (c,) or beta.shape != (c,):
+        raise ValueError(f"gamma/beta must have shape ({c},)")
+    axes = (0, 2, 3)
+    count = n * h * w
+
+    if training:
+        mean = x.data.mean(axis=axes, dtype=np.float32)
+        var = x.data.var(axis=axes, dtype=np.float32)
+        # Running buffers track the *unbiased* variance, as PyTorch does.
+        unbiased = var * (count / max(count - 1, 1))
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean
+        running_var *= 1.0 - momentum
+        running_var += momentum * unbiased
+    else:
+        mean = running_mean.astype(np.float32)
+        var = running_var.astype(np.float32)
+
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x.data - mean[None, :, None, None]) * inv_std[None, :, None, None]
+    out_data = x_hat * gamma.data[None, :, None, None] + beta.data[None, :, None, None]
+
+    def backward(grad: np.ndarray) -> None:
+        g = gamma.data[None, :, None, None]
+        gamma._accumulate((grad * x_hat).sum(axis=axes))
+        beta._accumulate(grad.sum(axis=axes))
+        if not x.requires_grad:
+            return
+        if training:
+            # Full batch-norm backward: the batch statistics depend on x.
+            dxhat = grad * g
+            term1 = dxhat
+            term2 = dxhat.mean(axis=axes, keepdims=True)
+            term3 = x_hat * (dxhat * x_hat).mean(axis=axes, keepdims=True)
+            x._accumulate((term1 - term2 - term3) * inv_std[None, :, None, None])
+        else:
+            x._accumulate(grad * g * inv_std[None, :, None, None])
+
+    return Tensor._make(out_data, (x, gamma, beta), backward, "batch_norm_2d")

@@ -1,0 +1,72 @@
+"""Finite-difference gradient verification.
+
+Used by the test suite to certify every differentiable op against central
+differences.  Checks run in float64 on a float32 engine, so tolerances are
+necessarily loose (~1e-2 relative); ops still separate cleanly from broken
+gradients, which err at O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+__all__ = ["numerical_gradient", "check_gradients"]
+
+
+def numerical_gradient(
+    fn: Callable[[Sequence[Tensor]], Tensor],
+    inputs: Sequence[Tensor],
+    index: int,
+    eps: float = 1e-2,
+) -> np.ndarray:
+    """Central-difference gradient of ``sum(fn(inputs))`` w.r.t. one input.
+
+    ``eps`` defaults to 1e-2: float32 arithmetic makes smaller steps
+    noise-dominated.
+    """
+    target = inputs[index]
+    grad = np.zeros_like(target.data, dtype=np.float64)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(fn(inputs).data.sum(dtype=np.float64))
+        flat[i] = original - eps
+        minus = float(fn(inputs).data.sum(dtype=np.float64))
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(
+    fn: Callable[[Sequence[Tensor]], Tensor],
+    inputs: Sequence[Tensor],
+    atol: float = 5e-2,
+    rtol: float = 5e-2,
+    eps: float = 1e-2,
+) -> None:
+    """Assert analytic gradients of ``sum(fn(inputs))`` match finite differences.
+
+    Raises ``AssertionError`` with a per-input diagnostic on mismatch.
+    """
+    for t in inputs:
+        t.zero_grad()
+    out = fn(inputs)
+    out.sum().backward()
+    for i, t in enumerate(inputs):
+        if not t.requires_grad:
+            continue
+        assert t.grad is not None, f"input {i} received no gradient"
+        expected = numerical_gradient(fn, inputs, i, eps=eps)
+        actual = t.grad.astype(np.float64)
+        if not np.allclose(actual, expected, atol=atol, rtol=rtol):
+            worst = np.abs(actual - expected).max()
+            raise AssertionError(
+                f"gradient mismatch for input {i}: max abs err {worst:.4g}\n"
+                f"analytic:\n{actual}\nnumeric:\n{expected}"
+            )

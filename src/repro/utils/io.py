@@ -1,0 +1,117 @@
+"""Small, dependency-free structured IO: atomic writes, JSON/JSONL/CSV.
+
+The trial database (:mod:`repro.nas.storage`) appends JSONL records from a
+long-running sweep; atomic replacement protects snapshot files against
+partial writes if the process is interrupted.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "atomic_write_text",
+    "write_json",
+    "read_json",
+    "write_jsonl",
+    "read_jsonl",
+    "iter_jsonl",
+    "write_csv",
+]
+
+
+class _NumpyJSONEncoder(json.JSONEncoder):
+    """JSON encoder that understands NumPy scalars and arrays."""
+
+    def default(self, o: Any) -> Any:
+        if isinstance(o, np.integer):
+            return int(o)
+        if isinstance(o, np.floating):
+            return float(o)
+        if isinstance(o, np.bool_):
+            return bool(o)
+        if isinstance(o, np.ndarray):
+            return o.tolist()
+        return super().default(o)
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (tempfile + rename)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def write_json(path: str | Path, obj: Any, indent: int = 2) -> None:
+    """Serialize ``obj`` as JSON to ``path`` atomically."""
+    atomic_write_text(path, json.dumps(obj, indent=indent, cls=_NumpyJSONEncoder))
+
+
+def read_json(path: str | Path) -> Any:
+    """Load a JSON document."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def write_jsonl(path: str | Path, records: Iterable[Mapping[str, Any]], append: bool = False) -> int:
+    """Write records as JSON Lines; returns the number of records written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with open(path, "a" if append else "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, cls=_NumpyJSONEncoder))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def iter_jsonl(path: str | Path) -> Iterator[dict[str, Any]]:
+    """Lazily yield records from a JSON Lines file, skipping blank lines."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def read_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    """Load all records from a JSON Lines file."""
+    return list(iter_jsonl(path))
+
+
+def write_csv(
+    path: str | Path,
+    rows: Sequence[Mapping[str, Any]],
+    fieldnames: Sequence[str] | None = None,
+) -> int:
+    """Write mapping rows as CSV; returns the number of data rows."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if fieldnames is None:
+        seen: dict[str, None] = {}
+        for row in rows:
+            for key in row:
+                seen.setdefault(key, None)
+        fieldnames = list(seen)
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(fieldnames))
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({k: row.get(k, "") for k in fieldnames})
+    return len(rows)

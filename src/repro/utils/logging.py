@@ -1,0 +1,31 @@
+"""Logging setup shared by library code, the CLI, and examples."""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["get_logger", "configure"]
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_configured = False
+
+
+def configure(level: int = logging.INFO, stream=None) -> None:
+    """Install a root handler once.  Safe to call repeatedly."""
+    global _configured
+    root = logging.getLogger("repro")
+    if not _configured:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT, datefmt="%H:%M:%S"))
+        root.addHandler(handler)
+        root.propagate = False
+        _configured = True
+    root.setLevel(level)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

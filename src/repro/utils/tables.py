@@ -1,0 +1,65 @@
+"""Plain-text table rendering for benchmark/report output.
+
+The benchmark harness prints every reproduced paper table through
+:func:`render_table` so the rows can be compared against the paper
+side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+__all__ = ["render_table", "format_cell"]
+
+
+def format_cell(value: Any, float_fmt: str = "{:.2f}") -> str:
+    """Render a single table cell (floats get a fixed precision)."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return float_fmt.format(value)
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, Any]] | Sequence[Sequence[Any]],
+    headers: Sequence[str] | None = None,
+    title: str | None = None,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    ``rows`` may be dict rows (headers inferred) or positional rows
+    (headers required).  Returns a string ending with a newline.
+    """
+    if rows and isinstance(rows[0], Mapping):
+        if headers is None:
+            seen: dict[str, None] = {}
+            for row in rows:
+                for key in row:  # type: ignore[union-attr]
+                    seen.setdefault(key, None)
+            headers = list(seen)
+        body = [[format_cell(row.get(h, ""), float_fmt) for h in headers] for row in rows]  # type: ignore[union-attr]
+    else:
+        if headers is None:
+            raise ValueError("headers are required for positional rows")
+        body = [[format_cell(v, float_fmt) for v in row] for row in rows]
+
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    rule = "-+-".join("-" * w for w in widths)
+    out: list[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * max(len(title), len(rule)))
+    out.append(line(headers))
+    out.append(rule)
+    out.extend(line(row) for row in body)
+    return "\n".join(out) + "\n"

@@ -1,0 +1,43 @@
+"""Shared fixtures: tiny datasets, canonical configs, seeded RNGs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import DrainageCrossingDataset
+from repro.nas.config import ModelConfig
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset_5ch() -> DrainageCrossingDataset:
+    """16 samples, 24x24, 5 channels — fast enough for real training."""
+    return DrainageCrossingDataset(
+        channels=5, size=24, samples_per_class=2, regions=["nebraska", "california"], seed=7
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset_7ch() -> DrainageCrossingDataset:
+    return DrainageCrossingDataset(
+        channels=7, size=24, samples_per_class=2, regions=["nebraska", "california"], seed=7
+    )
+
+
+@pytest.fixture()
+def winner_config() -> ModelConfig:
+    """The paper's best Table-4 solution (7ch, b16, no-pool, f32)."""
+    return ModelConfig(
+        channels=7, batch=16, kernel_size=3, stride=2, padding=1,
+        pool_choice=0, kernel_size_pool=3, stride_pool=2, initial_output_feature=32,
+    )
+
+
+@pytest.fixture()
+def baseline_config() -> ModelConfig:
+    return ModelConfig.baseline(channels=5, batch=16)

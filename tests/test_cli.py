@@ -1,0 +1,68 @@
+"""CLI surface tests (fast subcommands only)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["space"])
+        assert args.command == "space"
+        for cmd in ("sweep", "baseline"):
+            assert build_parser().parse_args([cmd]).command == cmd
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_space(self, capsys):
+        assert main(["space"]) == 0
+        out = capsys.readouterr().out
+        assert "288" in out and "1728" in out
+
+    def test_latency(self, capsys):
+        code = main([
+            "latency", "--channels", "7", "--kernel-size", "3", "--padding", "1",
+            "--pool-choice", "0", "--initial-output-feature", "32",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cortexA76cpu" in out and "MEAN" in out
+
+    def test_sweep_and_pareto(self, tmp_path, capsys):
+        trials = tmp_path / "trials.jsonl"
+        assert main(["sweep", "--out", str(trials), "--budget", "24"]) == 0
+        assert trials.exists()
+        html = tmp_path / "scatter.html"
+        assert main(["pareto", str(trials), "--html", str(html)]) == 0
+        out = capsys.readouterr().out
+        assert "Non-dominated" in out
+        assert html.exists() and "const DATA" in html.read_text()
+
+    def test_pareto_missing_file(self, tmp_path):
+        assert main(["pareto", str(tmp_path / "none.jsonl")]) == 1
+
+    def test_energy(self, capsys):
+        assert main(["energy", "--kernel-size", "3", "--padding", "1",
+                     "--pool-choice", "0", "--initial-output-feature", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "energy_mj" in out and "myriadvpu" in out
+
+    def test_quantize(self, capsys):
+        assert main(["quantize", "--kernel-size", "3", "--padding", "1",
+                     "--pool-choice", "0", "--initial-output-feature", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "int8 storage" in out and "x smaller" in out
+
+    def test_profile(self, capsys):
+        code = main([
+            "profile", "--size", "32", "--profile-batch", "1",
+            "--kernel-size", "3", "--padding", "1", "--pool-choice", "0",
+            "--initial-output-feature", "32",
+        ])
+        assert code == 0
+        assert "stem" in capsys.readouterr().out

@@ -1,0 +1,153 @@
+"""Core pipeline, paper constants, reports, figure data."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HwNasPipeline,
+    architecture_figure,
+    baseline_table,
+    objective_ranges_table,
+    pareto_scatter_figure,
+    pareto_table,
+    per_combination_fronts,
+    radar_figure,
+    searchspace_figure,
+)
+from repro.core.objectives import OBJECTIVES
+from repro.core.paper import (
+    CONFIGS_PER_COMBINATION,
+    TABLE1_REGIONS,
+    TABLE3_RANGES,
+    TABLE4_PARETO,
+    TABLE5_BASELINE,
+    TOTAL_TRIALS,
+    VALID_OUTCOMES,
+)
+from repro.core.pipeline import evaluate_baselines
+from repro.nas import FailureInjector, GridSearch, SurrogateEvaluator
+from repro.nas.searchspace import SearchSpace
+
+
+@pytest.fixture(scope="module")
+def small_pipeline_result():
+    """A reduced sweep (48 trials) exercising the full pipeline quickly."""
+    space = SearchSpace(
+        kernel_size=(3,), stride=(2,), padding=(1,),
+        pool_choice=(0, 1), kernel_size_pool=(3,), stride_pool=(2,),
+        initial_output_feature=(32, 64),
+        channels=(5, 7), batches=(8, 16),
+    )
+    pipeline = HwNasPipeline(
+        evaluator=SurrogateEvaluator(),
+        space=space,
+        strategy=GridSearch(space),
+        input_hw=(64, 64),
+    )
+    return pipeline.run()
+
+
+class TestObjectives:
+    def test_spec(self):
+        keys = [o.key for o in OBJECTIVES]
+        assert keys == ["accuracy", "latency_ms", "memory_mb"]
+        assert OBJECTIVES[0].pair[1].value == "max"
+
+
+class TestPaperConstants:
+    def test_table1_totals(self):
+        assert sum(r["total"] for r in TABLE1_REGIONS) == 12068
+        for row in TABLE1_REGIONS:
+            assert row["true"] + row["false"] == row["total"]
+
+    def test_trial_accounting(self):
+        assert TOTAL_TRIALS == 6 * CONFIGS_PER_COMBINATION
+        assert VALID_OUTCOMES == 1717
+
+    def test_table4_structure_claims(self):
+        # Every winner: f=32, k=3, s=2, p=1 (the Figure-4 commonalities).
+        for row in TABLE4_PARETO:
+            assert row["initial_output_feature"] == 32
+            assert row["kernel_size"] == 3
+            assert row["stride"] == 2
+            assert row["padding"] == 1
+
+    def test_table3_ranges_ordered(self):
+        for lo, hi in TABLE3_RANGES.values():
+            assert lo < hi
+
+
+class TestPipeline:
+    def test_run_counts(self, small_pipeline_result):
+        assert small_pipeline_result.launched == 16
+        assert small_pipeline_result.valid_outcomes == 16
+        assert len(small_pipeline_result.records) == 16
+
+    def test_front_is_nonempty_and_sorted(self, small_pipeline_result):
+        front = small_pipeline_result.front_records()
+        assert front
+        accs = [r["accuracy"] for r in front]
+        assert accs == sorted(accs, reverse=True)
+
+    def test_front_favors_small_models(self, small_pipeline_result):
+        front = small_pipeline_result.front_records()
+        assert all(r["initial_output_feature"] == 32 for r in front)
+
+    def test_baselines_match_paper_shape(self):
+        records = evaluate_baselines()
+        rows = baseline_table(records)
+        assert len(rows) == 6
+        by_combo = {(r["channels"], r["batch"]): r for r in rows}
+        paper = {(r["channels"], r["batch"]): r for r in TABLE5_BASELINE}
+        for key, row in by_combo.items():
+            assert row["latency_ms"] == pytest.approx(paper[key]["latency_ms"], rel=0.1)
+            assert row["memory_mb"] == pytest.approx(paper[key]["memory_mb"], rel=0.01)
+            assert row["accuracy"] == pytest.approx(paper[key]["accuracy"], abs=1.5)
+
+
+class TestReports:
+    def test_objective_ranges_table(self, small_pipeline_result):
+        rows = objective_ranges_table(small_pipeline_result)
+        assert len(rows) == 3
+        assert all(row["min"] <= row["max"] for row in rows)
+
+    def test_pareto_table_columns(self, small_pipeline_result):
+        rows = pareto_table(small_pipeline_result)
+        expected = {"channels", "batch", "accuracy", "latency_ms", "lat_std", "memory_mb",
+                    "kernel_size", "stride", "padding", "pool_choice", "kernel_size_pool",
+                    "stride_pool", "initial_output_feature"}
+        assert set(rows[0]) == expected
+
+    def test_per_combination_fronts_cover_all_combos(self, small_pipeline_result):
+        fronts = per_combination_fronts(small_pipeline_result)
+        assert set(fronts) == {(5, 8), (5, 16), (7, 8), (7, 16)}
+        assert all(rows for rows in fronts.values())
+
+
+class TestFigures:
+    def test_architecture_figure(self):
+        fig = architecture_figure()
+        assert fig["channels_5"] == ["dem", "red", "green", "blue", "nir"]
+        assert fig["channels_7"][-2:] == ["ndvi", "ndwi"]
+        assert fig["total_params"] == pytest.approx(11.18e6, rel=0.01)
+        assert any(layer["op"] == "conv" for layer in fig["layers"])
+
+    def test_searchspace_figure(self):
+        fig = searchspace_figure()
+        assert fig["architectures_per_combination"] == 288
+        assert fig["total_configurations"] == 1728
+        assert len(fig["input_combinations"]) == 6
+
+    def test_scatter_figure(self, small_pipeline_result):
+        fig = pareto_scatter_figure(small_pipeline_result)
+        assert fig["points"].shape == (16, 3)
+        assert fig["front_mask"].sum() == fig["n_front"]
+        assert fig["points_normalized"].min() >= 0.0
+        assert fig["points_normalized"].max() <= 1.0
+
+    def test_radar_figure(self, small_pipeline_result):
+        solutions = radar_figure(small_pipeline_result)
+        assert solutions
+        for sol in solutions:
+            assert len(sol.axes) == len(sol.values) == 9
+            assert all(0.0 <= v <= 1.0 for v in sol.values)

@@ -1,0 +1,61 @@
+"""ASCII figure rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core.figures import RadarSolution
+from repro.core.plots import ascii_radar_bars, ascii_scatter
+
+
+class TestAsciiScatter:
+    def test_contains_points_and_highlights(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.random(50), rng.random(50)
+        highlight = np.zeros(50, dtype=bool)
+        highlight[:3] = True
+        out = ascii_scatter(x, y, highlight, x_label="latency", y_label="accuracy")
+        assert "." in out and "O" in out
+        assert "latency" in out and "accuracy" in out
+
+    def test_axis_ranges_printed(self):
+        x = np.array([1.0, 9.0])
+        y = np.array([2.0, 8.0])
+        out = ascii_scatter(x, y)
+        assert "1" in out and "9" in out and "8" in out
+
+    def test_single_point(self):
+        out = ascii_scatter(np.array([1.0]), np.array([1.0]))
+        assert "." in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_scatter(np.zeros(3), np.zeros(2))
+        with pytest.raises(ValueError):
+            ascii_scatter(np.zeros(0), np.zeros(0))
+
+    def test_highlights_never_hidden(self):
+        # A highlighted point at the same cell as normal points shows as O.
+        x = np.array([0.5, 0.5, 0.5])
+        y = np.array([0.5, 0.5, 0.5])
+        mask = np.array([False, False, True])
+        assert "O" in ascii_scatter(x, y, mask)
+
+
+class TestAsciiRadarBars:
+    def _solution(self, pooled=False):
+        return RadarSolution(label="ch7-b16", pooled=pooled,
+                             axes=["accuracy", "latency_ms"], values=[1.0, 0.25])
+
+    def test_bars_scale_with_values(self):
+        out = ascii_radar_bars([self._solution()], width=20)
+        assert "#" * 20 in out  # the 1.0 axis is a full bar
+        assert "#" * 5 + "-" in out  # the 0.25 axis is a quarter bar
+
+    def test_group_labels(self):
+        out = ascii_radar_bars([self._solution(pooled=True)])
+        assert "[pool]" in out
+        out2 = ascii_radar_bars([self._solution(pooled=False)])
+        assert "[no-pool]" in out2
+
+    def test_empty(self):
+        assert "no solutions" in ascii_radar_bars([])

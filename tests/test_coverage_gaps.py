@@ -1,0 +1,102 @@
+"""Coverage for smaller surfaces: summaries, reports, analysis variants."""
+
+import numpy as np
+import pytest
+
+from repro.nas.config import ModelConfig
+from repro.pareto import ObjectiveSense, ParetoAnalysis
+
+
+class TestParetoAnalysisVariants:
+    def _records(self):
+        rng = np.random.default_rng(0)
+        return [
+            {"accuracy": float(90 + rng.random() * 8),
+             "latency_ms": float(8 + rng.random() * 40),
+             "memory_mb": float(rng.choice([11.2, 25.2, 44.8]))}
+            for _ in range(60)
+        ]
+
+    def test_naive_and_kung_agree_on_records(self):
+        records = self._records()
+        kung = ParetoAnalysis(algorithm="kung").run(records)
+        naive = ParetoAnalysis(algorithm="naive").run(records)
+        np.testing.assert_array_equal(np.sort(kung.front_indices), np.sort(naive.front_indices))
+
+    def test_single_objective(self):
+        analysis = ParetoAnalysis(objectives=(("accuracy", ObjectiveSense.MAX),))
+        records = self._records()
+        front = analysis.front_records(records)
+        assert len(front) == 1
+        assert front[0]["accuracy"] == max(r["accuracy"] for r in records)
+
+    def test_empty_objectives_rejected(self):
+        with pytest.raises(ValueError):
+            ParetoAnalysis(objectives=())
+
+    def test_front_values_property(self):
+        result = ParetoAnalysis().run(self._records())
+        assert result.front_values.shape == (result.front_size(), 3)
+
+
+class TestModelConfigMisc:
+    def test_from_dict_ignores_extra_keys(self):
+        data = ModelConfig.baseline().to_dict()
+        data["accuracy"] = 95.0  # analysis records carry extras
+        config = ModelConfig.from_dict(data)
+        assert config == ModelConfig.baseline()
+
+    def test_invalid_geometry_detected(self):
+        # Stride-2 7x7 stem + aggressive pooling collapses small inputs.
+        config = ModelConfig(channels=5, batch=8, kernel_size=7, stride=2, padding=3,
+                             pool_choice=1, kernel_size_pool=3, stride_pool=2,
+                             initial_output_feature=32)
+        assert config.is_valid_for((100, 100))
+        # 4x4 input: the stem leaves 2x2, which the 3x3 pool collapses.
+        assert not config.is_valid_for((4, 4))
+
+    def test_canonical_idempotent(self):
+        config = ModelConfig(channels=5, batch=8, kernel_size=3, stride=2, padding=1,
+                             pool_choice=0, kernel_size_pool=3, stride_pool=2,
+                             initial_output_feature=32)
+        assert config.canonical() == config.canonical().canonical()
+
+
+class TestTrialRecordObjectiveIntegrity:
+    def test_store_analysis_records_have_all_keys(self):
+        from repro.nas import Experiment, GridSearch, SurrogateEvaluator
+        from repro.nas.searchspace import SearchSpace
+
+        space = SearchSpace(kernel_size=(3,), stride=(2,), padding=(1,), pool_choice=(0,),
+                            kernel_size_pool=(3,), stride_pool=(2,),
+                            initial_output_feature=(32,), channels=(5,), batches=(8,))
+        result = Experiment(SurrogateEvaluator(), GridSearch(space), input_hw=(48, 48)).run(budget=1)
+        (record,) = result.store.analysis_records()
+        required = {"accuracy", "latency_ms", "memory_mb", "lat_std", "trial_id",
+                    "channels", "batch", "kernel_size", "stride", "padding",
+                    "pool_choice", "kernel_size_pool", "stride_pool", "initial_output_feature"}
+        assert required <= set(record)
+
+
+class TestLatencySummaryProperties:
+    def test_summary_dict_keys(self):
+        from repro.latency.predictors import LatencySummary
+
+        summary = LatencySummary(per_device_ms={"a": 10.0, "b": 20.0})
+        assert summary.mean_ms == 15.0
+        assert summary.std_ms == 5.0
+        flat = summary.as_dict()
+        assert flat["a"] == 10.0 and flat["latency_ms"] == 15.0
+
+
+class TestProfilerFlopsAttribution:
+    def test_pooled_model_stage_names(self):
+        from repro.nn import SearchableResNet18
+        from repro.profiling import profile_model
+
+        model = SearchableResNet18(in_channels=5, kernel_size=3, stride=2, padding=1,
+                                   pool_choice=1, kernel_size_pool=2, stride_pool=2,
+                                   initial_output_feature=32)
+        profiles = profile_model(model, batch=1, input_hw=(32, 32), repeats=1)
+        assert [p.name for p in profiles] == ["stem", "layer1", "layer2", "layer3", "layer4", "head"]
+        assert all(p.flops >= 0 for p in profiles)

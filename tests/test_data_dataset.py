@@ -1,0 +1,208 @@
+"""Dataset assembly: channels, indices, regions, determinism, sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import (
+    BatchSampler,
+    DrainageCrossingDataset,
+    REGIONS,
+    augment_batch,
+    generate_patch,
+    kfold_indices,
+    ndvi,
+    ndwi,
+    random_flip_rot,
+    total_sample_count,
+    train_test_split_indices,
+)
+from repro.data.orthophoto import render_orthophoto
+from repro.data.regions import region_by_name
+from repro.data.terrain import generate_scene
+
+
+class TestIndices:
+    def test_ndvi_bounds_and_signs(self):
+        nir = np.array([0.5, 0.1])
+        red = np.array([0.1, 0.5])
+        values = ndvi(nir, red)
+        assert values[0] > 0 > values[1]
+        assert (np.abs(values) <= 1.0).all()
+
+    def test_ndwi_water_positive(self):
+        # Open water: green >> nir.
+        assert ndwi(np.array([0.09]), np.array([0.02]))[0] > 0.5
+
+    def test_zero_denominator_safe(self):
+        assert np.isfinite(ndvi(np.zeros(3), np.zeros(3))).all()
+
+    def test_vegetation_scene_has_positive_ndvi(self, rng):
+        scene = generate_scene(48, rng, REGIONS["nebraska"].terrain, crossing=False)
+        ortho = render_orthophoto(scene, rng)
+        red, green, _blue, nir = ortho
+        veg_ndvi = ndvi(nir, red)
+        assert veg_ndvi.mean() > 0.1  # mostly vegetated landscape
+
+    def test_water_pixels_have_higher_ndwi(self, rng):
+        for seed in range(10):
+            local = np.random.default_rng(seed)
+            scene = generate_scene(64, local, REGIONS["california"].terrain, crossing=True)
+            if scene.water_mask.sum() < 5:
+                continue
+            ortho = render_orthophoto(scene, local)
+            water_ndwi = ndwi(ortho[1], ortho[3])[scene.water_mask].mean()
+            land_ndwi = ndwi(ortho[1], ortho[3])[~scene.water_mask].mean()
+            assert water_ndwi > land_ndwi
+            return
+        pytest.fail("no scene with water found")
+
+
+class TestRegions:
+    def test_table1_counts(self):
+        assert REGIONS["nebraska"].total_samples == 4044
+        assert REGIONS["illinois"].total_samples == 2022
+        assert REGIONS["north_dakota"].total_samples == 1226
+        assert REGIONS["california"].total_samples == 4776
+        assert total_sample_count() == 12068
+
+    def test_lookup_by_display_name(self):
+        assert region_by_name("North Dakota").dem_resolution_m == 0.61
+        with pytest.raises(KeyError):
+            region_by_name("atlantis")
+
+
+class TestGeneratePatch:
+    def test_channel_counts(self, rng):
+        region = REGIONS["nebraska"]
+        assert generate_patch(region, 1, rng, size=32, channels=5).shape == (5, 32, 32)
+        assert generate_patch(region, 0, np.random.default_rng(1), size=32, channels=7).shape == (7, 32, 32)
+
+    def test_invalid_channels(self, rng):
+        with pytest.raises(ValueError):
+            generate_patch(REGIONS["nebraska"], 1, rng, channels=6)
+
+    def test_dem_channel_standardized(self, rng):
+        patch = generate_patch(REGIONS["california"], 1, rng, size=48, channels=5)
+        assert abs(float(patch[0].mean())) < 1e-3
+        assert float(patch[0].std()) == pytest.approx(1.0, abs=1e-2)
+
+    def test_seventh_channels_are_derived_indices(self, rng):
+        patch = generate_patch(REGIONS["illinois"], 1, rng, size=32, channels=7)
+        red, green, nir = patch[1], patch[2], patch[4]
+        np.testing.assert_allclose(patch[5], ndvi(nir, red), atol=1e-5)
+        np.testing.assert_allclose(patch[6], ndwi(green, nir), atol=1e-5)
+
+
+class TestDataset:
+    def test_balanced_classes(self):
+        ds = DrainageCrossingDataset(channels=5, size=24, samples_per_class=3, seed=0)
+        counts = ds.class_counts()
+        assert counts[0] == counts[1] == 12  # 3 per class x 4 regions
+
+    def test_deterministic_across_instances(self):
+        a = DrainageCrossingDataset(channels=5, size=24, samples_per_class=2, seed=3)
+        b = DrainageCrossingDataset(channels=5, size=24, samples_per_class=2, seed=3)
+        np.testing.assert_array_equal(a.patch(5), b.patch(5))
+
+    def test_different_seeds_differ(self):
+        a = DrainageCrossingDataset(channels=5, size=24, samples_per_class=2, seed=3)
+        b = DrainageCrossingDataset(channels=5, size=24, samples_per_class=2, seed=4)
+        assert not np.allclose(a.patch(0), b.patch(0))
+
+    def test_cache_returns_same_object(self):
+        ds = DrainageCrossingDataset(channels=5, size=24, samples_per_class=1, cache=True)
+        assert ds.patch(0) is ds.patch(0)
+
+    def test_batch_collation(self, tiny_dataset_5ch):
+        x, y = tiny_dataset_5ch.batch(np.array([0, 1, 2]))
+        assert x.shape == (3, 5, 24, 24)
+        assert y.shape == (3,)
+
+    def test_region_subset(self):
+        ds = DrainageCrossingDataset(channels=5, size=24, samples_per_class=2, regions=["illinois"])
+        assert ds.region_counts() == {"illinois": 4}
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            DrainageCrossingDataset(samples_per_class=0)
+
+    def test_getitem_protocol(self, tiny_dataset_5ch):
+        patch, label = tiny_dataset_5ch[0]
+        assert patch.shape == (5, 24, 24)
+        assert label in (0, 1)
+
+
+class TestSampler:
+    def test_covers_all_indices_once(self, tiny_dataset_5ch):
+        sampler = BatchSampler(tiny_dataset_5ch, batch_size=5, shuffle=True, rng=0)
+        seen = sum((len(y) for _, y in sampler), 0)
+        assert seen == len(tiny_dataset_5ch)
+
+    def test_len_with_and_without_drop_last(self, tiny_dataset_5ch):
+        n = len(tiny_dataset_5ch)  # 16
+        assert len(BatchSampler(tiny_dataset_5ch, batch_size=5)) == (n + 4) // 5
+        assert len(BatchSampler(tiny_dataset_5ch, batch_size=5, drop_last=True)) == n // 5
+
+    def test_restricted_indices(self, tiny_dataset_5ch):
+        subset = np.array([0, 3, 7])
+        sampler = BatchSampler(tiny_dataset_5ch, batch_size=2, indices=subset, shuffle=False)
+        labels = np.concatenate([y for _, y in sampler])
+        np.testing.assert_array_equal(np.sort(labels), np.sort(tiny_dataset_5ch.labels[subset]))
+
+    def test_validation(self, tiny_dataset_5ch):
+        with pytest.raises(ValueError):
+            BatchSampler(tiny_dataset_5ch, batch_size=0)
+        with pytest.raises(ValueError):
+            BatchSampler(tiny_dataset_5ch, batch_size=2, indices=np.array([], dtype=np.int64))
+
+
+class TestSplits:
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(5, 60), k=st.integers(2, 5))
+    def test_kfold_partitions_exactly(self, n, k):
+        if n < k:
+            return
+        folds = kfold_indices(n, k=k, seed=1)
+        assert len(folds) == k
+        all_val = np.concatenate([val for _, val in folds])
+        np.testing.assert_array_equal(np.sort(all_val), np.arange(n))
+        for train, val in folds:
+            assert np.intersect1d(train, val).size == 0
+            assert train.size + val.size == n
+
+    def test_fold_sizes_balanced(self):
+        folds = kfold_indices(23, k=5, seed=0)
+        sizes = [val.size for _, val in folds]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_kfold_validation(self):
+        with pytest.raises(ValueError):
+            kfold_indices(3, k=5)
+        with pytest.raises(ValueError):
+            kfold_indices(10, k=1)
+
+    def test_train_test_split(self):
+        train, test = train_test_split_indices(50, test_fraction=0.2, seed=0)
+        assert test.size == 10
+        assert np.intersect1d(train, test).size == 0
+        with pytest.raises(ValueError):
+            train_test_split_indices(10, test_fraction=0.0)
+
+
+class TestAugment:
+    def test_dihedral_preserves_values(self, rng):
+        patch = rng.normal(size=(3, 8, 8)).astype(np.float32)
+        out = random_flip_rot(patch, rng)
+        np.testing.assert_allclose(np.sort(out.reshape(-1)), np.sort(patch.reshape(-1)))
+
+    def test_batch_augment_shape(self, rng):
+        x = rng.normal(size=(4, 5, 8, 8)).astype(np.float32)
+        out = augment_batch(x, rng=0)
+        assert out.shape == x.shape
+
+    def test_rejects_non_square(self, rng):
+        with pytest.raises(ValueError):
+            random_flip_rot(rng.normal(size=(3, 4, 8)).astype(np.float32), rng)
+        with pytest.raises(ValueError):
+            augment_batch(rng.normal(size=(3, 4, 8)).astype(np.float32))

@@ -1,0 +1,86 @@
+"""Raster container: geotransform math, windows, file roundtrips."""
+
+import numpy as np
+import pytest
+
+from repro.data.raster import GeoTransform, Raster, load_raster, save_raster
+
+
+class TestGeoTransform:
+    def test_pixel_world_roundtrip(self):
+        transform = GeoTransform(origin_x=500_000.0, origin_y=4_600_000.0,
+                                 pixel_width=1.0, pixel_height=-1.0)
+        x, y = transform.pixel_to_world(10, 20)
+        assert (x, y) == (500_020.0, 4_599_990.0)
+        row, col = transform.world_to_pixel(x, y)
+        assert (row, col) == (10.0, 20.0)
+
+    def test_shear_unsupported_inverse(self):
+        transform = GeoTransform(shear_x=0.1)
+        with pytest.raises(NotImplementedError):
+            transform.world_to_pixel(0.0, 0.0)
+
+
+class TestRaster:
+    def _raster(self):
+        rng = np.random.default_rng(0)
+        return Raster(
+            data=rng.normal(size=(3, 32, 32)),
+            transform=GeoTransform(origin_x=100.0, origin_y=200.0),
+            band_names=("dem", "red", "nir"),
+        )
+
+    def test_2d_promoted_to_single_band(self):
+        raster = Raster(data=np.zeros((8, 8)))
+        assert raster.bands == 1
+
+    def test_band_lookup(self):
+        raster = self._raster()
+        np.testing.assert_array_equal(raster.band("red"), raster.data[1])
+        with pytest.raises(KeyError):
+            raster.band("swir")
+
+    def test_band_name_count_checked(self):
+        with pytest.raises(ValueError):
+            Raster(data=np.zeros((2, 4, 4)), band_names=("one",))
+
+    def test_window_extracts_and_shifts_origin(self):
+        raster = self._raster()
+        window = raster.window(4, 6, 8)
+        assert window.shape == (8, 8)
+        np.testing.assert_array_equal(window.data, raster.data[:, 4:12, 6:14])
+        assert window.transform.origin_x == 106.0
+        assert window.transform.origin_y == 196.0
+
+    def test_window_bounds_checked(self):
+        with pytest.raises(ValueError):
+            self._raster().window(30, 30, 8)
+
+    def test_file_roundtrip(self, tmp_path):
+        raster = self._raster()
+        path = tmp_path / "scene.rst"
+        size = save_raster(raster, path)
+        assert size == path.stat().st_size
+        back = load_raster(path)
+        np.testing.assert_array_equal(back.data, raster.data)
+        assert back.transform == raster.transform
+        assert back.crs == raster.crs
+        assert back.band_names == raster.band_names
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.rst"
+        path.write_bytes(b"NOPE" + b"\x00" * 32)
+        with pytest.raises(ValueError):
+            load_raster(path)
+
+    def test_scene_to_raster_integration(self, tmp_path):
+        from repro.data.regions import REGIONS
+        from repro.data.scene_sampler import generate_region_scene
+
+        rng = np.random.default_rng(1)
+        scene = generate_region_scene(96, rng, REGIONS["illinois"].terrain)
+        stack = scene.channel_stack(5)
+        raster = Raster(data=stack, band_names=("dem", "red", "green", "blue", "nir"))
+        save_raster(raster, tmp_path / "region.rst")
+        back = load_raster(tmp_path / "region.rst")
+        np.testing.assert_array_equal(back.band("dem"), stack[0])

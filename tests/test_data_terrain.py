@@ -1,0 +1,105 @@
+"""Terrain synthesis: DEM statistics, channels, roads, crossing signatures."""
+
+import numpy as np
+import pytest
+
+from repro.data.terrain import (
+    Scene,
+    TerrainParams,
+    channel_profile,
+    generate_scene,
+    road_profile,
+    synthesize_dem,
+)
+
+
+@pytest.fixture()
+def params():
+    return TerrainParams()
+
+
+class TestSynthesizeDem:
+    def test_shape_dtype_finite(self, rng, params):
+        dem = synthesize_dem(64, rng, params)
+        assert dem.shape == (64, 64)
+        assert dem.dtype == np.float32
+        assert np.isfinite(dem).all()
+
+    def test_relief_controls_amplitude(self, params):
+        rng_a = np.random.default_rng(0)
+        rng_b = np.random.default_rng(0)
+        flat = synthesize_dem(64, rng_a, TerrainParams(relief=1.0, tilt=0.0))
+        steep = synthesize_dem(64, rng_b, TerrainParams(relief=10.0, tilt=0.0))
+        assert steep.max() - steep.min() == pytest.approx(10 * (flat.max() - flat.min()), rel=1e-4)
+
+    def test_beta_controls_roughness(self):
+        # Rough terrain (small beta) has more high-frequency energy.
+        rough = synthesize_dem(128, np.random.default_rng(1), TerrainParams(beta=1.6, tilt=0.0))
+        smooth = synthesize_dem(128, np.random.default_rng(1), TerrainParams(beta=3.0, tilt=0.0))
+        gradient_energy = lambda d: float(np.abs(np.diff(d, axis=0)).mean())
+        assert gradient_energy(rough) > gradient_energy(smooth)
+
+    def test_deterministic_per_seed(self, params):
+        a = synthesize_dem(32, np.random.default_rng(5), params)
+        b = synthesize_dem(32, np.random.default_rng(5), params)
+        np.testing.assert_array_equal(a, b)
+
+    def test_too_small_rejected(self, rng, params):
+        with pytest.raises(ValueError):
+            synthesize_dem(4, rng, params)
+
+
+class TestProfiles:
+    def test_channel_depth_bounded_and_centered(self, rng, params):
+        depth, path = channel_profile(64, rng, params)
+        assert depth.shape == (64, 64)
+        assert depth.max() <= params.channel_depth + 1e-5
+        assert (path >= 0).all() and (path <= 63).all()
+        # Depth is maximal at the centerline.
+        col = 30
+        center_row = int(round(path[col]))
+        assert depth[center_row, col] >= 0.9 * depth[:, col].max()
+
+    def test_road_height_bounded_with_plateau(self, rng, params):
+        height, path = road_profile(64, rng, params)
+        assert height.max() <= params.road_height + 1e-5
+        assert (height >= 0).all()
+        # Far from the road the embankment is exactly zero.
+        assert (height == 0).sum() > 64 * 64 / 2
+
+
+class TestGenerateScene:
+    def test_positive_scene_contains_both_features(self, rng, params):
+        scene = generate_scene(64, rng, params, crossing=True)
+        assert scene.has_crossing
+        assert scene.channel_mask.any()
+        assert scene.road_mask.any()
+
+    def test_negative_scene_never_has_both(self, params):
+        for seed in range(12):
+            scene = generate_scene(48, np.random.default_rng(seed), params, crossing=False)
+            assert not (scene.channel_mask.any() and scene.road_mask.any())
+            assert not scene.has_crossing
+
+    def test_crossing_embankment_rises_above_channel(self, params):
+        # Where road and channel overlap, the fill lifts the DEM relative
+        # to the un-filled channel on either side (the culvert signature).
+        for seed in range(8):
+            rng = np.random.default_rng(seed)
+            scene = generate_scene(64, rng, params, crossing=True)
+            overlap = scene.channel_mask & scene.road_mask
+            channel_only = scene.channel_mask & ~scene.road_mask
+            if overlap.any() and channel_only.any():
+                assert scene.dem[overlap].mean() > scene.dem[channel_only].mean()
+                return
+        pytest.fail("no crossing scene produced an overlap region in 8 seeds")
+
+    def test_water_collects_in_channels_only(self, rng, params):
+        scene = generate_scene(64, rng, params, crossing=True)
+        if scene.water_mask.any():
+            assert (scene.water_mask & ~scene.channel_mask).sum() == 0
+
+    def test_masks_are_boolean(self, rng, params):
+        scene = generate_scene(32, rng, params, crossing=True)
+        for mask in (scene.channel_mask, scene.road_mask, scene.water_mask):
+            assert mask.dtype == bool

@@ -1,0 +1,127 @@
+"""Deployment runtime: export round trips must match the training stack."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.deploy import OnnxliteRuntime, load_runtime
+from repro.nas.config import ModelConfig
+from repro.nn import SearchableResNet18, build_model
+from repro.onnxlite.export import export_model
+from repro.tensor.tensor import Tensor, no_grad
+
+
+def _model(**kw):
+    defaults = dict(in_channels=5, kernel_size=3, stride=2, padding=1,
+                    pool_choice=0, initial_output_feature=32, seed=3)
+    defaults.update(kw)
+    return SearchableResNet18(**defaults)
+
+
+def _reference_logits(model, x):
+    model.eval()
+    with no_grad():
+        return model(Tensor(x)).data
+
+
+class TestRoundTrip:
+    def test_outputs_match_training_stack(self):
+        model = _model()
+        blob = export_model(model, input_hw=(32, 32))
+        runtime = load_runtime(blob)
+        x = np.random.default_rng(0).normal(size=(3, 5, 32, 32)).astype(np.float32)
+        np.testing.assert_allclose(runtime.run(x), _reference_logits(model, x), rtol=1e-3, atol=1e-4)
+
+    def test_pooled_variant_matches(self):
+        model = _model(pool_choice=1, kernel_size_pool=3, stride_pool=2)
+        runtime = load_runtime(export_model(model, input_hw=(64, 64)))
+        x = np.random.default_rng(1).normal(size=(2, 5, 64, 64)).astype(np.float32)
+        np.testing.assert_allclose(runtime.run(x), _reference_logits(model, x), rtol=1e-3, atol=1e-4)
+
+    def test_baseline_7x7_stem_matches(self):
+        model = _model(kernel_size=7, padding=3, pool_choice=1,
+                       kernel_size_pool=3, stride_pool=2, initial_output_feature=48)
+        runtime = load_runtime(export_model(model, input_hw=(64, 64)))
+        x = np.random.default_rng(2).normal(size=(2, 5, 64, 64)).astype(np.float32)
+        np.testing.assert_allclose(runtime.run(x), _reference_logits(model, x), rtol=1e-3, atol=1e-4)
+
+    def test_file_path_loading(self, tmp_path):
+        model = _model()
+        path = tmp_path / "model.onxl"
+        export_model(model, input_hw=(32, 32), path=path)
+        runtime = load_runtime(path)
+        x = np.zeros((1, 5, 32, 32), dtype=np.float32)
+        assert runtime.run(x).shape == (1, 2)
+
+    def test_predictions_agree(self):
+        model = _model(seed=9)
+        runtime = load_runtime(export_model(model, input_hw=(32, 32)))
+        x = np.random.default_rng(3).normal(size=(8, 5, 32, 32)).astype(np.float32)
+        np.testing.assert_array_equal(
+            runtime.predict(x), _reference_logits(model, x).argmax(axis=1)
+        )
+
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        channels=st.sampled_from((5, 7)),
+        kernel=st.sampled_from((3, 7)),
+        stride=st.sampled_from((1, 2)),
+        pool=st.sampled_from((0, 1)),
+        feature=st.sampled_from((32, 48)),
+    )
+    def test_fuzz_roundtrip_over_search_space(self, channels, kernel, stride, pool, feature):
+        padding = 1 if kernel == 3 else 3
+        config = ModelConfig(channels=channels, batch=8, kernel_size=kernel, stride=stride,
+                             padding=padding, pool_choice=pool, kernel_size_pool=3,
+                             stride_pool=2, initial_output_feature=feature)
+        model = build_model(config, seed=0)
+        runtime = load_runtime(export_model(model, input_hw=(48, 48)))
+        x = np.random.default_rng(0).normal(size=(2, channels, 48, 48)).astype(np.float32)
+        np.testing.assert_allclose(runtime.run(x), _reference_logits(model, x), rtol=2e-3, atol=2e-4)
+
+
+class TestTrainedModelDeployment:
+    def test_trained_weights_survive_deployment(self, tiny_dataset_5ch):
+        """Train, export, deploy: the deployed model keeps the accuracy."""
+        from repro.nas.crossval import TrainSettings, train_one_model
+
+        model = _model(seed=1)
+        indices = np.arange(len(tiny_dataset_5ch))
+        train_one_model(model, tiny_dataset_5ch, indices, batch_size=8,
+                        settings=TrainSettings(epochs=2, lr=0.02), rng_seed=0)
+        runtime = load_runtime(export_model(model, input_hw=(24, 24)))
+        x, y = tiny_dataset_5ch.batch(indices)
+        deployed_acc = (runtime.predict(x) == y).mean()
+        reference_acc = (_reference_logits(model, x).argmax(axis=1) == y).mean()
+        assert deployed_acc == reference_acc
+
+
+class TestRuntimeValidation:
+    def test_wrong_channel_count_rejected(self):
+        runtime = load_runtime(export_model(_model(), input_hw=(32, 32)))
+        with pytest.raises(ValueError):
+            runtime.run(np.zeros((1, 7, 32, 32), dtype=np.float32))
+
+    def test_unsupported_operator_rejected(self):
+        from repro.onnxlite.schema import ModelProto, OperatorProto
+
+        proto = ModelProto("m", (1,), (1,), operators=[
+            OperatorProto("x", "Softmax", ["input"], ["x"]),
+        ])
+        with pytest.raises(ValueError):
+            OnnxliteRuntime(proto)
+
+    def test_missing_initializer_rejected(self):
+        model = _model()
+        blob = export_model(model, input_hw=(32, 32))
+        from repro.onnxlite.reader import proto_from_bytes
+
+        proto = proto_from_bytes(blob)
+        proto.initializers = [t for t in proto.initializers if t.name != "conv1.weight"]
+        runtime = OnnxliteRuntime(proto)
+        with pytest.raises(KeyError):
+            runtime.run(np.zeros((1, 5, 32, 32), dtype=np.float32))
+
+    def test_repr(self):
+        runtime = load_runtime(export_model(_model(), input_hw=(32, 32)))
+        assert "OnnxliteRuntime" in repr(runtime)

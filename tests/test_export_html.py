@@ -1,0 +1,61 @@
+"""Interactive HTML export of the Figure-3 scatter."""
+
+import json
+
+import pytest
+
+from repro.core.export_html import export_pareto_html
+
+
+def _records(n=10):
+    return [
+        {"accuracy": 90.0 + i * 0.5, "latency_ms": 8.0 + i, "memory_mb": 11.2,
+         "channels": 5, "batch": 8, "kernel_size": 3, "stride": 2, "padding": 1,
+         "pool_choice": 0, "initial_output_feature": 32}
+        for i in range(n)
+    ]
+
+
+class TestExportParetoHtml:
+    def test_writes_self_contained_html(self, tmp_path):
+        path = tmp_path / "pareto.html"
+        size = export_pareto_html(_records(), [0, 9], path)
+        assert size == path.stat().st_size
+        html = path.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "http://" not in html and "https://" not in html  # no external deps
+        assert "10 trials" in html and "2 non-dominated" in html
+
+    def test_data_embedded_and_parsable(self, tmp_path):
+        path = tmp_path / "p.html"
+        export_pareto_html(_records(4), [1], path)
+        html = path.read_text()
+        start = html.index("const DATA = ") + len("const DATA = ")
+        end = html.index(";", start)
+        data = json.loads(html[start:end])
+        assert len(data) == 4
+        assert data[0]["accuracy"] == 90.0
+        front_start = html.index("new Set(") + len("new Set(")
+        front = json.loads(html[front_start : html.index(")", front_start)])
+        assert front == [1]
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_pareto_html([], [], tmp_path / "x.html")
+        with pytest.raises(KeyError):
+            export_pareto_html([{"accuracy": 1.0}], [], tmp_path / "x.html",
+                               axes=("accuracy", "missing"))
+
+    def test_integration_with_pipeline(self, tmp_path):
+        from repro.core import HwNasPipeline
+        from repro.nas import GridSearch, SurrogateEvaluator
+        from repro.nas.searchspace import SearchSpace
+
+        space = SearchSpace(kernel_size=(3,), stride=(2,), padding=(1,), pool_choice=(0,),
+                            kernel_size_pool=(3,), stride_pool=(2,),
+                            initial_output_feature=(32,), channels=(5,), batches=(8, 16))
+        result = HwNasPipeline(SurrogateEvaluator(), space, GridSearch(space),
+                               input_hw=(48, 48)).run()
+        path = tmp_path / "sweep.html"
+        export_pareto_html(result.records, result.pareto.front_indices.tolist(), path)
+        assert path.stat().st_size > 2000

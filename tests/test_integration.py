@@ -1,0 +1,85 @@
+"""End-to-end integration: the complete paper pipeline at miniature scale.
+
+This is the honest-path test: real synthetic data, real NumPy training
+with k-fold CV, real latency prediction and onnxlite memory, ending in a
+Pareto front — the whole Section 3 methodology in one run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nas import Experiment, GridSearch, TrainingEvaluator, TrialStore
+from repro.nas.searchspace import SearchSpace
+from repro.pareto import ParetoAnalysis
+
+
+@pytest.fixture(scope="module")
+def mini_sweep_result():
+    space = SearchSpace(
+        kernel_size=(3,), stride=(2,), padding=(1,),
+        pool_choice=(0,), kernel_size_pool=(3,), stride_pool=(2,),
+        initial_output_feature=(32, 64),
+        channels=(5,), batches=(4, 8),
+    )
+    evaluator = TrainingEvaluator(
+        samples_per_class=3, patch_size=24, epochs=1, k=2, regions=["nebraska"], seed=0
+    )
+    experiment = Experiment(
+        evaluator=evaluator, strategy=GridSearch(space), input_hw=(24, 24)
+    )
+    return experiment.run(budget=4)
+
+
+class TestEndToEnd:
+    def test_all_trials_complete(self, mini_sweep_result):
+        assert mini_sweep_result.launched == 4
+        assert mini_sweep_result.succeeded == 4
+
+    def test_records_carry_all_three_objectives(self, mini_sweep_result):
+        for record in mini_sweep_result.store:
+            assert 0.0 <= record.accuracy <= 100.0
+            assert record.latency_ms > 0
+            assert record.memory_mb > 0
+            assert len(record.fold_accuracies) == 2
+            assert len(record.per_device_ms) == 4
+
+    def test_memory_reflects_architecture(self, mini_sweep_result):
+        by_feature = {}
+        for record in mini_sweep_result.store:
+            by_feature.setdefault(record.config.initial_output_feature, set()).add(
+                round(record.memory_mb, 3)
+            )
+        # f=64 models are ~4x the memory of f=32 models.
+        assert min(by_feature[64]) > 3.5 * max(by_feature[32])
+
+    def test_pareto_front_extraction_works(self, mini_sweep_result):
+        records = mini_sweep_result.store.analysis_records()
+        front = ParetoAnalysis().front_records(records)
+        assert 1 <= len(front) <= len(records)
+
+    def test_store_roundtrip_through_disk(self, mini_sweep_result, tmp_path):
+        path = tmp_path / "mini.jsonl"
+        persisted = TrialStore(path)
+        persisted.extend(mini_sweep_result.store.records())
+        restored = TrialStore(path)
+        assert restored.load() == 4
+        for a, b in zip(mini_sweep_result.store, restored):
+            assert a.config == b.config
+            assert a.accuracy == pytest.approx(b.accuracy)
+
+
+class TestTrainedModelQuality:
+    def test_full_protocol_learns_on_synthetic_data(self):
+        """Train the paper's winning architecture with the real pipeline
+        and require clearly-above-chance 2-fold CV accuracy."""
+        from repro.nas.config import ModelConfig
+
+        evaluator = TrainingEvaluator(
+            samples_per_class=8, patch_size=28, epochs=4, k=2,
+            regions=["nebraska", "california"], seed=2, lr=0.02,
+        )
+        config = ModelConfig(channels=5, batch=8, kernel_size=3, stride=2, padding=1,
+                             pool_choice=0, kernel_size_pool=3, stride_pool=2,
+                             initial_output_feature=32)
+        result = evaluator.evaluate(config)
+        assert result.accuracy > 65.0

@@ -1,0 +1,102 @@
+"""Fusion edge cases on hand-built IR graphs."""
+
+import pytest
+
+from repro.graph.ir import Graph, Node, OpType
+from repro.latency.fusion import fuse_graph
+from repro.latency.kernels import extract_kernels
+
+
+def _chain(*ops: OpType) -> Graph:
+    """A linear graph input -> ops... -> output with matching shapes."""
+    g = Graph()
+    shape = (4, 8, 8)
+    prev = g.add_node(Node("input", OpType.INPUT, shape, shape))
+    for i, op in enumerate(ops):
+        attrs = {}
+        params = 0
+        if op is OpType.CONV:
+            attrs = {"in_channels": 4, "out_channels": 4, "kernel": 3, "stride": 1, "padding": 1}
+            params = 144
+        node = g.add_node(Node(f"n{i}", op, shape, shape, attrs=attrs, params=params))
+        g.add_edge(prev, node)
+        prev = node
+    out = g.add_node(Node("output", OpType.OUTPUT, shape, shape))
+    g.add_edge(prev, out)
+    return g
+
+
+class TestFusionChains:
+    def test_conv_bn_relu_fuses_to_one(self):
+        fused = fuse_graph(_chain(OpType.CONV, OpType.BATCH_NORM, OpType.RELU))
+        assert len(fused) == 1
+        assert extract_kernels(_chain(OpType.CONV, OpType.BATCH_NORM, OpType.RELU))[0].kernel_type == "conv-bn-relu"
+
+    def test_conv_relu_without_bn_still_fuses(self):
+        fused = fuse_graph(_chain(OpType.CONV, OpType.RELU))
+        assert len(fused) == 1
+        kernels = extract_kernels(_chain(OpType.CONV, OpType.RELU))
+        assert kernels[0].kernel_type == "conv-bn-relu"
+
+    def test_bare_conv(self):
+        kernels = extract_kernels(_chain(OpType.CONV))
+        assert len(kernels) == 1
+        assert kernels[0].kernel_type == "conv-bn"
+
+    def test_standalone_bn_and_relu_unfused(self):
+        fused = fuse_graph(_chain(OpType.BATCH_NORM, OpType.RELU, OpType.RELU))
+        # BN leads; the first RELU cannot fold into a BN-led kernel.
+        assert len(fused) == 3
+
+    def test_conv_bn_bn_only_fuses_first(self):
+        fused = fuse_graph(_chain(OpType.CONV, OpType.BATCH_NORM, OpType.BATCH_NORM))
+        assert len(fused) == 2
+        assert [n.op for n in fused[0].folded] == [OpType.BATCH_NORM]
+
+    def test_fanout_blocks_fusion(self):
+        """A conv whose output feeds two consumers cannot fold its BN."""
+        g = Graph()
+        shape = (4, 8, 8)
+        inp = g.add_node(Node("input", OpType.INPUT, shape, shape))
+        conv = g.add_node(Node("conv", OpType.CONV, shape, shape,
+                               attrs={"in_channels": 4, "out_channels": 4, "kernel": 3,
+                                      "stride": 1, "padding": 1}, params=144))
+        bn = g.add_node(Node("bn", OpType.BATCH_NORM, shape, shape, attrs={"channels": 4}, params=8))
+        add = g.add_node(Node("add", OpType.ADD, shape, shape))
+        out = g.add_node(Node("output", OpType.OUTPUT, shape, shape))
+        g.add_edge(inp, conv)
+        g.add_edge(conv, bn)   # consumer 1
+        g.add_edge(conv, add)  # consumer 2 (skip path)
+        g.add_edge(bn, add)
+        g.add_edge(add, out)
+        fused = fuse_graph(g)
+        names = {op.lead.name: op for op in fused}
+        assert names["conv"].folded == []  # fan-out prevented fusion
+        assert "bn" in names and "add" in names
+
+    def test_add_without_relu(self):
+        g = Graph()
+        shape = (2, 4, 4)
+        inp = g.add_node(Node("input", OpType.INPUT, shape, shape))
+        r1 = g.add_node(Node("r1", OpType.RELU, shape, shape))
+        r2 = g.add_node(Node("r2", OpType.RELU, shape, shape))
+        add = g.add_node(Node("add", OpType.ADD, shape, shape))
+        out = g.add_node(Node("output", OpType.OUTPUT, shape, shape))
+        g.add_edge(inp, r1)
+        g.add_edge(inp, r2)
+        g.add_edge(r1, add)
+        g.add_edge(r2, add)
+        g.add_edge(add, out)
+        kernels = extract_kernels(g)
+        kinds = {k.name: k.kernel_type for k in kernels}
+        assert kinds["add"] == "add"
+
+
+class TestKernelFeatures:
+    def test_weight_bytes_from_params(self):
+        kernels = extract_kernels(_chain(OpType.CONV, OpType.BATCH_NORM))
+        assert kernels[0].weight_bytes == (144 + 0) * 4  # conv + (bn has 0 here)
+
+    def test_memory_bytes_composition(self):
+        (kernel,) = extract_kernels(_chain(OpType.CONV))
+        assert kernel.memory_bytes == kernel.input_bytes + kernel.output_bytes + kernel.weight_bytes

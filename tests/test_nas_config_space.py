@@ -1,0 +1,112 @@
+"""Search space and configuration identity tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nas.config import BASELINE_ARCH, BATCH_CHOICES, CHANNEL_CHOICES, ModelConfig
+from repro.nas.searchspace import DEFAULT_SPACE, SearchSpace, enumerate_input_combinations
+
+config_strategy = st.builds(
+    ModelConfig,
+    channels=st.sampled_from(CHANNEL_CHOICES),
+    batch=st.sampled_from(BATCH_CHOICES),
+    kernel_size=st.sampled_from((3, 7)),
+    stride=st.sampled_from((1, 2)),
+    padding=st.sampled_from((1, 2, 3)),
+    pool_choice=st.sampled_from((0, 1)),
+    kernel_size_pool=st.sampled_from((2, 3)),
+    stride_pool=st.sampled_from((1, 2)),
+    initial_output_feature=st.sampled_from((32, 48, 64)),
+)
+
+
+class TestModelConfig:
+    @settings(max_examples=50, deadline=None)
+    @given(config_strategy)
+    def test_dict_roundtrip(self, config):
+        assert ModelConfig.from_dict(config.to_dict()) == config
+
+    @settings(max_examples=50, deadline=None)
+    @given(config_strategy)
+    def test_config_id_stable_and_hexadecimal(self, config):
+        cid = config.config_id()
+        assert cid == config.config_id()
+        int(cid, 16)
+
+    def test_canonical_collapses_nopool_params(self):
+        a = ModelConfig(5, 8, 3, 2, 1, 0, 2, 1, 32)
+        b = ModelConfig(5, 8, 3, 2, 1, 0, 3, 2, 32)
+        assert a.architecture_key() == b.architecture_key()
+        assert a.config_id() != b.config_id()  # trials remain distinct
+
+    def test_pooled_configs_not_collapsed(self):
+        a = ModelConfig(5, 8, 3, 2, 1, 1, 2, 2, 32)
+        b = ModelConfig(5, 8, 3, 2, 1, 1, 3, 2, 32)
+        assert a.architecture_key() != b.architecture_key()
+
+    def test_baseline_values(self):
+        cfg = ModelConfig.baseline()
+        assert cfg.kernel_size == 7 and cfg.initial_output_feature == 64
+        assert cfg.to_dict()["padding"] == BASELINE_ARCH["padding"]
+
+    def test_stem_downsample(self):
+        assert ModelConfig(5, 8, 3, 2, 1, 0, 3, 2, 32).stem_downsample() == 2
+        assert ModelConfig(5, 8, 3, 2, 1, 1, 3, 2, 32).stem_downsample() == 4
+        assert ModelConfig(5, 8, 3, 1, 1, 1, 3, 1, 32).stem_downsample() == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModelConfig(6, 8, 3, 2, 1, 0, 3, 2, 32)
+        with pytest.raises(ValueError):
+            ModelConfig(5, 0, 3, 2, 1, 0, 3, 2, 32)
+        with pytest.raises(ValueError):
+            ModelConfig(5, 8, 3, 2, 1, 2, 3, 2, 32)
+        with pytest.raises(ValueError):
+            ModelConfig(5, 8, 3, 2, 1, 1, 0, 2, 32)
+
+    @settings(max_examples=50, deadline=None)
+    @given(config_strategy)
+    def test_all_grid_configs_valid_at_100(self, config):
+        assert config.is_valid_for((100, 100))
+
+
+class TestSearchSpace:
+    def test_paper_cardinalities(self):
+        assert DEFAULT_SPACE.architectures_per_combination() == 288
+        assert DEFAULT_SPACE.total_configurations() == 1728
+        assert len(enumerate_input_combinations()) == 6
+
+    def test_unique_architectures_account_for_nopool_collapse(self):
+        # 2*2*3*3 = 36 base; pool variants: 4 pooled + 1 unpooled = 5.
+        assert DEFAULT_SPACE.unique_architectures_per_combination() == 180
+
+    def test_enumeration_count_and_uniqueness(self):
+        configs = DEFAULT_SPACE.configs()
+        assert len(configs) == 1728
+        assert len({c.config_id() for c in configs}) == 1728
+
+    def test_enumeration_covers_paper_winners(self, winner_config):
+        assert any(c == winner_config for c in DEFAULT_SPACE.iter_all())
+
+    def test_restricted_space(self):
+        pruned = SearchSpace(padding=(1,))
+        assert pruned.architectures_per_combination() == 96
+        assert all(c.padding == 1 for c in pruned.iter_all())
+
+    def test_empty_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            SearchSpace(kernel_size=())
+
+    def test_sampling_stays_on_grid(self, rng):
+        for config in DEFAULT_SPACE.sample(rng, 25):
+            assert DEFAULT_SPACE.contains(config)
+
+    def test_neighbors_single_knob_mutation(self, rng):
+        base = ModelConfig(5, 8, 3, 2, 1, 0, 3, 2, 32)
+        mutated = DEFAULT_SPACE.neighbors(base, rng)
+        diffs = sum(
+            1 for f in ModelConfig.__dataclass_fields__
+            if getattr(base, f) != getattr(mutated, f)
+        )
+        assert diffs == 1
+        assert DEFAULT_SPACE.contains(mutated)

@@ -1,0 +1,142 @@
+"""NSGA-II-style search and successive halving."""
+
+import numpy as np
+import pytest
+
+from repro.nas import (
+    Experiment,
+    FidelitySurrogate,
+    FidelityTrainer,
+    NSGAEvolution,
+    SurrogateEvaluator,
+    successive_halving,
+)
+from repro.nas.config import ModelConfig
+from repro.nas.searchspace import DEFAULT_SPACE
+from repro.pareto import non_dominated_mask
+from repro.pareto.dominance import to_minimization, ObjectiveSense
+
+
+def _winner_cfg():
+    return ModelConfig(channels=7, batch=16, kernel_size=3, stride=2, padding=1,
+                       pool_choice=0, kernel_size_pool=3, stride_pool=2,
+                       initial_output_feature=32)
+
+
+class TestNSGAEvolution:
+    def test_population_front_is_non_dominated(self):
+        strategy = NSGAEvolution(DEFAULT_SPACE, population_size=16, seed=0)
+        experiment = Experiment(SurrogateEvaluator(seed=0), strategy, input_hw=(100, 100))
+        experiment.run(budget=80)
+        front = strategy.population_front()
+        assert front
+        values = np.vstack(strategy._objectives)
+        front_keys = {c.config_id() for c in front}
+        mask = non_dominated_mask(values)
+        computed = {strategy._configs[i].config_id() for i in np.flatnonzero(mask)}
+        assert front_keys == computed
+
+    def test_finds_winner_family_with_small_budget(self):
+        strategy = NSGAEvolution(DEFAULT_SPACE, population_size=24, seed=3)
+        experiment = Experiment(SurrogateEvaluator(seed=0), strategy, input_hw=(100, 100))
+        experiment.run(budget=150)
+        front = strategy.population_front()
+        # The f=32 small-kernel family should dominate the evolved front.
+        assert any(c.initial_output_feature == 32 and c.kernel_size == 3 for c in front)
+
+    def test_population_truncation(self):
+        strategy = NSGAEvolution(DEFAULT_SPACE, population_size=8, seed=1)
+        experiment = Experiment(SurrogateEvaluator(seed=0), strategy, input_hw=(100, 100))
+        experiment.run(budget=40)
+        assert len(strategy._configs) <= 2 * strategy.population_size
+
+    def test_scalar_observe_path(self):
+        strategy = NSGAEvolution(DEFAULT_SPACE, population_size=4, seed=0)
+        for config in strategy.propose(6):
+            strategy.observe(config, 90.0)
+        assert strategy.population_front()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NSGAEvolution(DEFAULT_SPACE, population_size=2)
+
+    def test_empty_front(self):
+        assert NSGAEvolution(DEFAULT_SPACE).population_front() == []
+
+
+class TestFidelitySurrogate:
+    def test_monotone_in_budget_on_average(self):
+        fs = FidelitySurrogate(seed=0, noise_at_one_epoch=0.0)
+        cfg = _winner_cfg()
+        accs = [fs.evaluate_at(cfg, b) for b in (1, 2, 4, 8, 16)]
+        assert accs == sorted(accs)
+
+    def test_converges_to_full_fidelity(self):
+        fs = FidelitySurrogate(seed=0, noise_at_one_epoch=0.0)
+        cfg = _winner_cfg()
+        full = fs.base.evaluate(cfg).accuracy
+        assert fs.evaluate_at(cfg, 64) == pytest.approx(full, abs=0.01)
+
+    def test_noise_shrinks_with_budget(self):
+        fs = FidelitySurrogate(seed=0, gap=0.0, noise_at_one_epoch=2.0)
+        cfg = _winner_cfg()
+        full = fs.base.evaluate(cfg).accuracy
+        low = [abs(FidelitySurrogate(seed=s, gap=0.0, noise_at_one_epoch=2.0).evaluate_at(cfg, 1) - full)
+               for s in range(20)]
+        high = [abs(FidelitySurrogate(seed=s, gap=0.0, noise_at_one_epoch=2.0).evaluate_at(cfg, 16) - full)
+                for s in range(20)]
+        assert np.mean(high) < np.mean(low)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FidelitySurrogate(gap=-1.0)
+        with pytest.raises(ValueError):
+            FidelitySurrogate().evaluate_at(_winner_cfg(), 0)
+
+
+class TestSuccessiveHalving:
+    def test_budget_savings_and_ranking(self):
+        rng = np.random.default_rng(0)
+        candidates = DEFAULT_SPACE.sample(rng, 16)
+        evaluator = FidelitySurrogate(seed=0)
+        result = successive_halving(candidates, evaluator, min_budget=1, max_budget=8, eta=2)
+        # Budget: 16*1 + 8*2 + 4*4 + 2*8 = 64 epochs vs 128 for full eval.
+        assert result.total_epochs_spent == 64
+        assert len(result.rung_history) == 4
+        # Each rung is sorted best-first.
+        for rung in result.rung_history:
+            scores = [s for _, s in rung]
+            assert scores == sorted(scores, reverse=True)
+
+    def test_picks_a_good_candidate(self):
+        rng = np.random.default_rng(1)
+        candidates = DEFAULT_SPACE.sample(rng, 24)
+        evaluator = FidelitySurrogate(seed=0, noise_at_one_epoch=0.5)
+        result = successive_halving(candidates, evaluator, min_budget=1, max_budget=8)
+        full = {c.config_id(): evaluator.base.evaluate(c).accuracy for c in candidates}
+        best_possible = max(full.values())
+        chosen = full[result.best[0].config_id()]
+        assert chosen >= best_possible - 3.0
+
+    def test_single_candidate(self):
+        result = successive_halving([_winner_cfg()], FidelitySurrogate(seed=0), max_budget=4)
+        assert len(result.survivors) == 1
+
+    def test_validation(self):
+        fs = FidelitySurrogate(seed=0)
+        with pytest.raises(ValueError):
+            successive_halving([], fs)
+        with pytest.raises(ValueError):
+            successive_halving([_winner_cfg()], fs, eta=1)
+        with pytest.raises(ValueError):
+            successive_halving([_winner_cfg()], fs, min_budget=9, max_budget=4)
+
+
+class TestFidelityTrainer:
+    def test_real_training_at_budget(self, tiny_dataset_5ch):
+        trainer = FidelityTrainer(tiny_dataset_5ch, k=2, seed=0)
+        cfg = ModelConfig(channels=5, batch=8, kernel_size=3, stride=2, padding=1,
+                          pool_choice=0, kernel_size_pool=3, stride_pool=2,
+                          initial_output_feature=32)
+        acc = trainer.evaluate_at(cfg, budget=1)
+        assert 0.0 <= acc <= 100.0

@@ -1,0 +1,115 @@
+"""Surrogate accuracy model: calibration fidelity and orderings."""
+
+import numpy as np
+import pytest
+
+from repro.nas.config import ModelConfig
+from repro.nas.surrogate import (
+    DEFAULT_COEFFICIENTS,
+    PAPER_ACCURACY_ANCHORS,
+    SurrogateCoefficients,
+    SurrogateEvaluator,
+    featurize,
+    fit_surrogate,
+)
+
+
+def _cfg(**kw):
+    base = dict(channels=5, batch=16, kernel_size=3, stride=2, padding=1,
+                pool_choice=0, kernel_size_pool=3, stride_pool=2, initial_output_feature=32)
+    base.update(kw)
+    return ModelConfig(**base)
+
+
+class TestFeaturize:
+    def test_vector_length_matches_coefficients(self):
+        vec = featurize(_cfg())
+        assert vec.shape == DEFAULT_COEFFICIENTS.as_vector().shape
+
+    def test_pad_mismatch_feature(self):
+        idx = 8  # pad_mismatch position
+        assert featurize(_cfg(kernel_size=3, padding=1))[idx] == 0
+        assert featurize(_cfg(kernel_size=3, padding=3))[idx] == 2
+        assert featurize(_cfg(kernel_size=7, padding=3))[idx] == 0
+
+    def test_coefficient_vector_roundtrip(self):
+        vec = DEFAULT_COEFFICIENTS.as_vector()
+        back = SurrogateCoefficients.from_vector(vec)
+        assert back == DEFAULT_COEFFICIENTS
+
+
+class TestCalibration:
+    def test_anchor_residuals_small(self):
+        vec = DEFAULT_COEFFICIENTS.as_vector()
+        for config, paper_acc in PAPER_ACCURACY_ANCHORS:
+            predicted = float(featurize(config) @ vec)
+            assert abs(predicted - paper_acc) < 0.6, (config, predicted, paper_acc)
+
+    def test_fit_reproduces_frozen_defaults(self):
+        fitted = fit_surrogate()
+        np.testing.assert_allclose(
+            fitted.as_vector(), DEFAULT_COEFFICIENTS.as_vector(), atol=0.02
+        )
+
+    def test_global_argmax_is_paper_winner(self, winner_config):
+        from repro.nas.searchspace import DEFAULT_SPACE
+
+        evaluator = SurrogateEvaluator(noise_sigma=0.0)
+        best = max(DEFAULT_SPACE.iter_all(), key=evaluator.expected_accuracy)
+        assert best.architecture_key() == winner_config.architecture_key()
+        assert best.batch == 16
+
+
+class TestOrderings:
+    """The qualitative orderings Table 5 reports must hold noise-free."""
+
+    def setup_method(self):
+        self.ev = SurrogateEvaluator(noise_sigma=0.0)
+
+    def test_seven_channels_beat_five(self):
+        assert self.ev.expected_accuracy(_cfg(channels=7)) > self.ev.expected_accuracy(_cfg(channels=5))
+
+    def test_batch16_is_sweet_spot(self):
+        b8 = self.ev.expected_accuracy(_cfg(batch=8))
+        b16 = self.ev.expected_accuracy(_cfg(batch=16))
+        b32 = self.ev.expected_accuracy(_cfg(batch=32))
+        assert b16 > b8 > b32
+
+    def test_small_model_competitive_with_wide(self):
+        f32 = self.ev.expected_accuracy(_cfg(initial_output_feature=32))
+        f64 = self.ev.expected_accuracy(_cfg(initial_output_feature=64))
+        assert f32 >= f64
+
+    def test_stride1_without_pool_is_bad(self):
+        good = self.ev.expected_accuracy(_cfg(stride=2))
+        bad = self.ev.expected_accuracy(_cfg(stride=1))
+        assert good - bad > 4.0
+
+    def test_padding_mismatch_hurts(self):
+        assert self.ev.expected_accuracy(_cfg(padding=1)) > self.ev.expected_accuracy(_cfg(padding=3))
+
+
+class TestEvaluator:
+    def test_deterministic_per_config_seed(self):
+        ev = SurrogateEvaluator(seed=5)
+        a = ev.evaluate(_cfg())
+        b = ev.evaluate(_cfg())
+        assert a.accuracy == b.accuracy
+        assert a.fold_accuracies == b.fold_accuracies
+
+    def test_different_configs_get_different_noise(self):
+        ev = SurrogateEvaluator(seed=5)
+        assert ev.evaluate(_cfg(batch=8)).accuracy != ev.evaluate(_cfg(batch=8, kernel_size_pool=2)).accuracy
+
+    def test_folds_average_to_mean(self):
+        result = SurrogateEvaluator().evaluate(_cfg())
+        assert np.mean(result.fold_accuracies) == pytest.approx(result.accuracy, abs=0.02)
+        assert len(result.fold_accuracies) == 5
+
+    def test_clipping(self):
+        coeffs = SurrogateCoefficients(intercept=200.0)
+        assert SurrogateEvaluator(coefficients=coeffs, noise_sigma=0.0).expected_accuracy(_cfg()) <= 99.5
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError):
+            SurrogateEvaluator(noise_sigma=-1.0)

@@ -1,0 +1,191 @@
+"""Layers, initialization and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    Adam,
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    CrossEntropyLoss,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    Parameter,
+    ReLU,
+)
+from repro.nn.init import conv_fans, kaiming_normal, kaiming_uniform, linear_fans, xavier_uniform
+from repro.tensor.tensor import Tensor
+
+
+def _x(shape, seed=0):
+    return Tensor(np.random.default_rng(seed).normal(size=shape).astype(np.float32))
+
+
+class TestInit:
+    def test_fans(self):
+        assert conv_fans((8, 4, 3, 3)) == (36, 72)
+        assert linear_fans((10, 20)) == (20, 10)
+
+    def test_kaiming_normal_std(self):
+        rng = np.random.default_rng(0)
+        w = kaiming_normal((256, 128, 3, 3), rng, mode="fan_out")
+        expected = np.sqrt(2.0 / (256 * 9))
+        assert w.std() == pytest.approx(expected, rel=0.05)
+
+    def test_kaiming_uniform_bounds(self):
+        rng = np.random.default_rng(0)
+        w = kaiming_uniform((64, 64), rng)
+        bound = np.sqrt(2.0) * np.sqrt(3.0 / 64)
+        assert w.min() >= -bound and w.max() <= bound
+
+    def test_xavier_uniform_bounds(self):
+        rng = np.random.default_rng(0)
+        w = xavier_uniform((50, 30), rng)
+        bound = np.sqrt(6.0 / 80)
+        assert np.abs(w).max() <= bound
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            kaiming_normal((3,), np.random.default_rng(0))
+
+
+class TestLayers:
+    def test_conv_deterministic_with_seed(self):
+        a = Conv2d(3, 8, 3, rng=5)
+        b = Conv2d(3, 8, 3, rng=5)
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+    def test_conv_bias_flag(self):
+        assert Conv2d(2, 4, 3, bias=False).bias is None
+        assert len(Conv2d(2, 4, 3, bias=False).parameters()) == 1
+
+    def test_conv_validation(self):
+        with pytest.raises(ValueError):
+            Conv2d(0, 4, 3)
+        with pytest.raises(ValueError):
+            Conv2d(2, 4, 0)
+
+    def test_linear_shapes(self):
+        layer = Linear(6, 4, rng=0)
+        assert layer(_x((5, 6))).shape == (5, 4)
+        with pytest.raises(ValueError):
+            Linear(0, 2)
+
+    def test_pool_default_stride_equals_kernel(self):
+        assert MaxPool2d(2).stride == 2
+        assert AvgPool2d(3).stride == 3
+
+    def test_identity_flatten(self):
+        x = _x((2, 3, 4, 4))
+        assert Identity()(x) is x
+        assert Flatten()(x).shape == (2, 48)
+
+    def test_global_avg_pool_layer(self):
+        assert GlobalAvgPool2d()(_x((2, 5, 3, 3))).shape == (2, 5)
+
+    def test_batchnorm_switches_with_mode(self):
+        bn = BatchNorm2d(2)
+        x = _x((8, 2, 3, 3), seed=3)
+        bn.train()
+        y_train = bn(x)
+        bn.eval()
+        y_eval = bn(x)
+        # Same input, different normalization source -> different output.
+        assert not np.allclose(y_train.data, y_eval.data)
+
+    def test_reprs_are_informative(self):
+        assert "Conv2d(3, 8" in repr(Conv2d(3, 8, 3))
+        assert "BatchNorm2d(4)" == repr(BatchNorm2d(4))
+        assert "MaxPool2d" in repr(MaxPool2d(3, 2))
+
+
+def _quadratic_params(seed=0):
+    rng = np.random.default_rng(seed)
+    target = rng.normal(size=(8,)).astype(np.float32)
+    p = Parameter(np.zeros(8))
+    return p, target
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p, target = _quadratic_params()
+        opt = SGD([p], lr=0.3, momentum=0.9)
+        for _ in range(150):
+            opt.zero_grad()
+            loss = ((p - Tensor(target)) ** 2.0).sum()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-3)
+
+    def test_weight_decay_shrinks_params(self):
+        p = Parameter(np.ones(4))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.zeros(4, dtype=np.float32)
+        opt.step()
+        np.testing.assert_allclose(p.data, 0.9 * np.ones(4), rtol=1e-5)
+
+    def test_skips_params_without_grad(self):
+        p = Parameter(np.ones(2))
+        SGD([p], lr=0.5).step()
+        np.testing.assert_array_equal(p.data, np.ones(2))
+
+    def test_validation(self):
+        p = Parameter(np.ones(2))
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([p], momentum=1.5)
+        with pytest.raises(ValueError):
+            SGD([p], weight_decay=-1.0)
+        with pytest.raises(ValueError):
+            SGD([])
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p, target = _quadratic_params(1)
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            ((p - Tensor(target)) ** 2.0).sum().backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-2)
+
+    def test_first_step_magnitude_is_lr(self):
+        # With bias correction, |step 1| == lr regardless of grad scale.
+        p = Parameter(np.zeros(1))
+        opt = Adam([p], lr=0.01)
+        p.grad = np.array([1000.0], dtype=np.float32)
+        opt.step()
+        assert abs(p.data[0]) == pytest.approx(0.01, rel=1e-3)
+
+    def test_validation(self):
+        p = Parameter(np.ones(1))
+        with pytest.raises(ValueError):
+            Adam([p], lr=-1.0)
+        with pytest.raises(ValueError):
+            Adam([p], betas=(1.0, 0.9))
+
+
+class TestTrainingSmoke:
+    def test_small_net_fits_xor_like_data(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(64, 2)).astype(np.float32)
+        y = ((x[:, 0] * x[:, 1]) > 0).astype(np.int64)
+        from repro.nn import Sequential
+
+        net = Sequential(Linear(2, 16, rng=1), ReLU(), Linear(16, 2, rng=2))
+        opt = SGD(net.parameters(), lr=0.1, momentum=0.9)
+        loss_fn = CrossEntropyLoss()
+        for _ in range(200):
+            opt.zero_grad()
+            loss = loss_fn(net(Tensor(x)), y)
+            loss.backward()
+            opt.step()
+        acc = (net(Tensor(x)).data.argmax(axis=1) == y).mean()
+        assert acc > 0.9

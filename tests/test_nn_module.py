@@ -1,0 +1,121 @@
+"""Module system: registration, traversal, state dicts, train/eval."""
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm2d, Conv2d, Linear, Module, Parameter, ReLU, Sequential
+from repro.tensor.tensor import Tensor
+
+
+class Toy(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(4, 3, rng=0)
+        self.act = ReLU()
+        self.fc2 = Linear(3, 2, rng=1)
+
+    def forward(self, x):
+        return self.fc2(self.act(self.fc1(x)))
+
+
+class TestRegistration:
+    def test_parameters_collected_recursively(self):
+        toy = Toy()
+        names = dict(toy.named_parameters())
+        assert set(names) == {"fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"}
+
+    def test_buffers_collected(self):
+        bn = BatchNorm2d(4)
+        assert set(dict(bn.named_buffers())) == {"running_mean", "running_var"}
+
+    def test_reassignment_replaces_registration(self):
+        toy = Toy()
+        toy.fc1 = Linear(4, 3, rng=2)
+        assert len(list(toy.named_parameters())) == 4
+
+    def test_parameter_attribute_registered(self):
+        class M(Module):
+            def __init__(self):
+                super().__init__()
+                self.w = Parameter(np.ones(3))
+
+        assert len(M().parameters()) == 1
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestTrainEval:
+    def test_recursive_mode_switch(self):
+        toy = Toy()
+        toy.eval()
+        assert all(not m.training for m in toy.modules())
+        toy.train()
+        assert all(m.training for m in toy.modules())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = Toy(), Toy()
+        b.load_state_dict(a.state_dict())
+        for (na, pa), (nb, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert na == nb
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_state_dict_is_a_copy(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["fc1.weight"][:] = 99.0
+        assert not np.any(toy.fc1.weight.data == 99.0)
+
+    def test_missing_key_rejected(self):
+        toy = Toy()
+        state = toy.state_dict()
+        del state["fc1.bias"]
+        with pytest.raises(KeyError):
+            toy.load_state_dict(state)
+
+    def test_unexpected_key_rejected(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["extra"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            toy.load_state_dict(state)
+
+    def test_shape_mismatch_rejected(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["fc1.weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            toy.load_state_dict(state)
+
+    def test_buffers_roundtrip(self):
+        bn1, bn2 = BatchNorm2d(3), BatchNorm2d(3)
+        bn1.running_mean[:] = 5.0
+        bn2.load_state_dict(bn1.state_dict())
+        np.testing.assert_array_equal(bn2.running_mean, 5.0 * np.ones(3))
+
+
+class TestZeroGrad:
+    def test_clears_all_grads(self):
+        toy = Toy()
+        x = Tensor(np.ones((2, 4), dtype=np.float32))
+        toy(x).sum().backward()
+        assert any(p.grad is not None for p in toy.parameters())
+        toy.zero_grad()
+        assert all(p.grad is None for p in toy.parameters())
+
+
+class TestSequential:
+    def test_order_and_access(self):
+        seq = Sequential(Linear(4, 8, rng=0), ReLU(), Linear(8, 2, rng=1))
+        assert len(seq) == 3
+        assert isinstance(seq[1], ReLU)
+        out = seq(Tensor(np.ones((1, 4), dtype=np.float32)))
+        assert out.shape == (1, 2)
+
+    def test_conv_in_sequential(self):
+        seq = Sequential(Conv2d(2, 4, 3, padding=1, rng=0), ReLU())
+        out = seq(Tensor(np.zeros((1, 2, 5, 5), dtype=np.float32)))
+        assert out.shape == (1, 4, 5, 5)

@@ -1,0 +1,146 @@
+"""SearchableResNet18: structure, shapes, parameter counts, config build."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BasicBlock,
+    SearchableResNet18,
+    build_baseline_resnet18,
+    build_model,
+    count_parameters,
+    model_summary,
+)
+from repro.nn.serialize import load_state_dict, save_state_dict, state_dict_from_bytes, state_dict_to_bytes
+from repro.tensor.tensor import Tensor
+
+
+def _x(n, c, s, seed=0):
+    return Tensor(np.random.default_rng(seed).normal(size=(n, c, s, s)).astype(np.float32))
+
+
+class TestBasicBlock:
+    def test_identity_skip_when_shapes_match(self):
+        from repro.nn.layers import Identity
+
+        block = BasicBlock(16, 16, stride=1)
+        assert isinstance(block.downsample, Identity)
+
+    def test_projection_skip_on_stride_or_width_change(self):
+        from repro.nn.module import Sequential
+
+        assert isinstance(BasicBlock(16, 32, stride=2).downsample, Sequential)
+        assert isinstance(BasicBlock(16, 32, stride=1).downsample, Sequential)
+
+    def test_forward_shape(self):
+        block = BasicBlock(8, 16, stride=2)
+        out = block(_x(2, 8, 16))
+        assert out.shape == (2, 16, 8, 8)
+
+
+class TestParameterCounts:
+    def test_baseline_matches_paper_memory_math(self):
+        # Paper Table 5: 44.71 MB at 5 channels -> ~11.18M params.
+        count = count_parameters(build_baseline_resnet18(in_channels=5))
+        assert count == pytest.approx(11.18e6, rel=0.005)
+
+    def test_winner_is_quarter_size(self):
+        small = count_parameters(
+            SearchableResNet18(in_channels=7, kernel_size=3, padding=1, pool_choice=0,
+                               initial_output_feature=32)
+        )
+        big = count_parameters(build_baseline_resnet18(in_channels=7))
+        assert big / small == pytest.approx(4.0, rel=0.01)
+
+    def test_width_scaling_is_quadratic(self):
+        f32 = count_parameters(SearchableResNet18(initial_output_feature=32, kernel_size=3, padding=1))
+        f64 = count_parameters(SearchableResNet18(initial_output_feature=64, kernel_size=3, padding=1))
+        assert f64 / f32 == pytest.approx(4.0, rel=0.02)
+
+
+class TestForward:
+    @pytest.mark.parametrize("channels", [5, 7])
+    def test_output_is_binary_logits(self, channels):
+        model = SearchableResNet18(in_channels=channels, kernel_size=3, padding=1,
+                                   pool_choice=0, initial_output_feature=32)
+        out = model(_x(2, channels, 32))
+        assert out.shape == (2, 2)
+
+    def test_pooling_path(self):
+        model = SearchableResNet18(in_channels=5, kernel_size=3, stride=2, padding=1,
+                                   pool_choice=1, kernel_size_pool=2, stride_pool=2,
+                                   initial_output_feature=32)
+        assert model(_x(1, 5, 64)).shape == (1, 2)
+
+    def test_channel_mismatch_rejected(self):
+        model = SearchableResNet18(in_channels=5, kernel_size=3, padding=1)
+        with pytest.raises(ValueError):
+            model(_x(1, 7, 32))
+
+    def test_predict_returns_classes(self):
+        model = SearchableResNet18(in_channels=5, kernel_size=3, padding=1,
+                                   pool_choice=0, initial_output_feature=32)
+        preds = model.predict(_x(4, 5, 32))
+        assert preds.shape == (4,)
+        assert set(np.unique(preds)).issubset({0, 1})
+
+    def test_deterministic_init_by_seed(self):
+        a = SearchableResNet18(seed=11, kernel_size=3, padding=1)
+        b = SearchableResNet18(seed=11, kernel_size=3, padding=1)
+        np.testing.assert_array_equal(a.conv1.weight.data, b.conv1.weight.data)
+        c = SearchableResNet18(seed=12, kernel_size=3, padding=1)
+        assert not np.allclose(a.conv1.weight.data, c.conv1.weight.data)
+
+
+class TestValidation:
+    def test_bad_args_rejected(self):
+        with pytest.raises(ValueError):
+            SearchableResNet18(in_channels=0)
+        with pytest.raises(ValueError):
+            SearchableResNet18(num_classes=1)
+        with pytest.raises(ValueError):
+            SearchableResNet18(pool_choice=2)
+        with pytest.raises(ValueError):
+            SearchableResNet18(initial_output_feature=0)
+
+
+class TestBuildModel:
+    def test_from_mapping_and_object(self, winner_config):
+        from_map = build_model(winner_config.to_dict())
+        from_obj = build_model(winner_config)
+        assert count_parameters(from_map) == count_parameters(from_obj)
+        assert from_obj.in_channels == 7
+
+    def test_config_recorded(self, winner_config):
+        model = build_model(winner_config)
+        assert model.config["initial_output_feature"] == 32
+        assert model.config["pool_choice"] == 0
+
+
+class TestSerialization:
+    def test_bytes_roundtrip(self):
+        model = SearchableResNet18(kernel_size=3, padding=1, initial_output_feature=32, pool_choice=0)
+        payload = state_dict_to_bytes(model.state_dict())
+        restored = state_dict_from_bytes(payload)
+        np.testing.assert_array_equal(restored["conv1.weight"], model.conv1.weight.data)
+
+    def test_file_roundtrip_preserves_outputs(self, tmp_path):
+        a = SearchableResNet18(seed=1, kernel_size=3, padding=1, initial_output_feature=32, pool_choice=0)
+        b = SearchableResNet18(seed=2, kernel_size=3, padding=1, initial_output_feature=32, pool_choice=0)
+        x = _x(2, 5, 32)
+        a.eval(), b.eval()
+        save_state_dict(a, tmp_path / "m.bin")
+        load_state_dict(b, tmp_path / "m.bin")
+        np.testing.assert_allclose(a(x).data, b(x).data, rtol=1e-5)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            state_dict_from_bytes(b"NOPE" + b"\x00" * 16)
+
+
+class TestSummary:
+    def test_summary_total_matches(self):
+        model = SearchableResNet18(kernel_size=3, padding=1, initial_output_feature=32, pool_choice=0)
+        text = model_summary(model)
+        assert str(count_parameters(model)) in text
+        assert "conv1" in text

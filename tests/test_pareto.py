@@ -1,0 +1,211 @@
+"""Pareto machinery: dominance properties, fronts, metrics, analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.pareto import (
+    ObjectiveSense,
+    ParetoAnalysis,
+    crowding_distance,
+    dominates,
+    hypervolume,
+    knee_point_index,
+    non_dominated_mask,
+    non_dominated_mask_kung,
+    normalize_minmax,
+    pareto_front_indices,
+)
+from repro.pareto.dominance import to_minimization
+
+matrices = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 60), st.integers(1, 4)),
+    elements=st.floats(-100, 100, allow_nan=False),
+)
+
+
+class TestDominates:
+    def test_strict_partial_order_basics(self):
+        a, b = np.array([1.0, 1.0]), np.array([2.0, 2.0])
+        assert dominates(a, b)
+        assert not dominates(b, a)
+        assert not dominates(a, a)  # irreflexive
+
+    def test_incomparable(self):
+        assert not dominates(np.array([1.0, 3.0]), np.array([2.0, 1.0]))
+        assert not dominates(np.array([2.0, 1.0]), np.array([1.0, 3.0]))
+
+    @settings(max_examples=40, deadline=None)
+    @given(matrices)
+    def test_antisymmetry(self, values):
+        if values.shape[0] < 2:
+            return
+        a, b = values[0], values[1]
+        assert not (dominates(a, b) and dominates(b, a))
+
+
+class TestFrontExtraction:
+    @settings(max_examples=40, deadline=None)
+    @given(matrices)
+    def test_naive_and_kung_agree(self, values):
+        np.testing.assert_array_equal(non_dominated_mask(values), non_dominated_mask_kung(values))
+
+    @settings(max_examples=30, deadline=None)
+    @given(matrices)
+    def test_front_is_mutually_non_dominated(self, values):
+        mask = non_dominated_mask(values)
+        front = values[mask]
+        for i in range(len(front)):
+            for j in range(len(front)):
+                if i != j:
+                    assert not dominates(front[i], front[j])
+
+    @settings(max_examples=30, deadline=None)
+    @given(matrices)
+    def test_dominated_points_have_a_dominator_on_front(self, values):
+        mask = non_dominated_mask(values)
+        front = values[mask]
+        for point in values[~mask]:
+            assert any(dominates(f, point) for f in front)
+
+    def test_duplicates_all_survive(self):
+        values = np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]])
+        assert non_dominated_mask(values).tolist() == [True, True, False]
+
+    def test_chunking_does_not_change_result(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=(300, 3))
+        np.testing.assert_array_equal(
+            non_dominated_mask(values, chunk=7), non_dominated_mask(values, chunk=1000)
+        )
+
+    def test_empty_input(self):
+        assert non_dominated_mask_kung(np.zeros((0, 3))).size == 0
+
+
+class TestSenses:
+    def test_max_sense_flips(self):
+        values = np.array([[90.0, 10.0], [80.0, 5.0]])
+        senses = [ObjectiveSense.MAX, ObjectiveSense.MIN]
+        idx = pareto_front_indices(values, senses)
+        assert sorted(idx.tolist()) == [0, 1]  # trade-off: both survive
+        values2 = np.array([[90.0, 5.0], [80.0, 10.0]])
+        idx2 = pareto_front_indices(values2, senses)
+        assert idx2.tolist() == [0]
+
+    def test_to_minimization_validation(self):
+        with pytest.raises(ValueError):
+            to_minimization(np.zeros(3), [ObjectiveSense.MIN])
+        with pytest.raises(ValueError):
+            to_minimization(np.zeros((2, 3)), [ObjectiveSense.MIN])
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            pareto_front_indices(np.zeros((2, 2)), [ObjectiveSense.MIN] * 2, algorithm="magic")
+
+
+class TestNormalize:
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        out = normalize_minmax(rng.normal(size=(50, 3)) * 100)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_constant_column_maps_to_half(self):
+        values = np.array([[1.0, 5.0], [2.0, 5.0]])
+        out = normalize_minmax(values)
+        np.testing.assert_allclose(out[:, 1], 0.5)
+
+
+class TestHypervolume:
+    def test_known_2d_value(self):
+        points = np.array([[0.0, 0.5], [0.5, 0.0]])
+        ref = np.array([1.0, 1.0])
+        # Two overlapping rectangles: 2 * 0.5 - 0.25 = 0.75.
+        assert hypervolume(points, ref) == pytest.approx(0.75)
+
+    def test_known_3d_value(self):
+        points = np.array([[0.0, 0.0, 0.0]])
+        assert hypervolume(points, np.array([2.0, 3.0, 4.0])) == pytest.approx(24.0)
+
+    def test_monotone_under_adding_points(self):
+        rng = np.random.default_rng(1)
+        points = rng.random((20, 3))
+        ref = np.array([1.5, 1.5, 1.5])
+        hv_small = hypervolume(points[:10], ref)
+        hv_all = hypervolume(points, ref)
+        assert hv_all >= hv_small - 1e-12
+
+    def test_points_outside_reference_ignored(self):
+        points = np.array([[2.0, 2.0]])
+        assert hypervolume(points, np.array([1.0, 1.0])) == 0.0
+
+    def test_bounded_by_box(self):
+        rng = np.random.default_rng(2)
+        points = rng.random((30, 3))
+        ref = np.array([1.0, 1.0, 1.0])
+        assert hypervolume(points, ref) <= 1.0
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            hypervolume(np.zeros((2, 4)), np.ones(4))
+        with pytest.raises(ValueError):
+            hypervolume(np.zeros((2, 2)), np.ones(3))
+
+
+class TestCrowdingAndKnee:
+    def test_boundary_points_infinite(self):
+        points = np.array([[0.0, 1.0], [0.5, 0.5], [1.0, 0.0]])
+        distance = crowding_distance(points)
+        assert np.isinf(distance[0]) and np.isinf(distance[2])
+        assert np.isfinite(distance[1])
+
+    def test_small_fronts_all_infinite(self):
+        assert np.isinf(crowding_distance(np.array([[1.0, 2.0]]))).all()
+
+    def test_knee_prefers_balanced_point(self):
+        points = np.array([[0.0, 1.0], [0.1, 0.1], [1.0, 0.0]])
+        assert knee_point_index(points) == 1
+
+    def test_knee_empty_rejected(self):
+        with pytest.raises(ValueError):
+            knee_point_index(np.zeros((0, 2)))
+
+
+class TestParetoAnalysis:
+    def _records(self):
+        return [
+            {"accuracy": 96.0, "latency_ms": 8.0, "memory_mb": 11.0},
+            {"accuracy": 95.0, "latency_ms": 7.0, "memory_mb": 11.0},   # faster
+            {"accuracy": 90.0, "latency_ms": 30.0, "memory_mb": 45.0},  # dominated
+            {"accuracy": 97.0, "latency_ms": 40.0, "memory_mb": 10.0},  # acc+mem winner
+        ]
+
+    def test_front_extraction(self):
+        analysis = ParetoAnalysis()
+        front = analysis.front_records(self._records())
+        accs = sorted(r["accuracy"] for r in front)
+        assert accs == [95.0, 96.0, 97.0]
+
+    def test_ranges(self):
+        result = ParetoAnalysis().run(self._records())
+        assert result.ranges()["accuracy"] == (90.0, 97.0)
+        assert result.front_size() == 3
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            ParetoAnalysis().run([{"accuracy": 1.0}])
+
+    def test_empty_records_raise(self):
+        with pytest.raises(ValueError):
+            ParetoAnalysis().run([])
+
+    def test_knee_and_crowding_and_hypervolume(self):
+        analysis = ParetoAnalysis()
+        records = self._records()
+        knee = analysis.knee_record(records)
+        assert knee in records
+        assert analysis.hypervolume(records) > 0
+        crowd = analysis.crowding(records)
+        assert crowd.shape == (3,)

@@ -1,0 +1,131 @@
+"""Non-dominated ranking, weak/epsilon dominance, IGD/spread metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.pareto import (
+    epsilon_non_dominated_mask,
+    fast_non_dominated_sort,
+    igd,
+    non_dominated_mask,
+    spread,
+    weak_non_dominated_mask,
+)
+
+matrices = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 40), st.integers(1, 3)),
+    elements=st.floats(-50, 50, allow_nan=False),
+)
+
+
+class TestFastNonDominatedSort:
+    def test_rank0_equals_front_mask(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=(100, 3))
+        ranks = fast_non_dominated_sort(values)
+        np.testing.assert_array_equal(ranks == 0, non_dominated_mask(values))
+
+    @settings(max_examples=30, deadline=None)
+    @given(matrices)
+    def test_every_point_gets_a_rank(self, values):
+        ranks = fast_non_dominated_sort(values)
+        assert (ranks >= 0).all()
+
+    @settings(max_examples=30, deadline=None)
+    @given(matrices)
+    def test_peeling_property(self, values):
+        """Removing rank 0 makes rank 1 the new front, recursively."""
+        ranks = fast_non_dominated_sort(values)
+        if ranks.max() < 1:
+            return
+        remaining = values[ranks >= 1]
+        sub_ranks = fast_non_dominated_sort(remaining)
+        np.testing.assert_array_equal(sub_ranks, ranks[ranks >= 1] - 1)
+
+    def test_chain_gets_distinct_ranks(self):
+        values = np.array([[1.0, 1.0], [2.0, 2.0], [3.0, 3.0]])
+        np.testing.assert_array_equal(fast_non_dominated_sort(values), [0, 1, 2])
+
+    def test_empty(self):
+        assert fast_non_dominated_sort(np.zeros((0, 2))).size == 0
+
+
+class TestWeakDominance:
+    def test_superset_of_standard_front(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=(80, 3))
+        standard = non_dominated_mask(values)
+        weak = weak_non_dominated_mask(values)
+        assert np.all(weak[standard])
+
+    def test_tie_in_one_objective_protects(self):
+        # b is worse in obj 0 but ties in obj 1 -> weakly non-dominated.
+        values = np.array([[1.0, 5.0], [2.0, 5.0]])
+        np.testing.assert_array_equal(weak_non_dominated_mask(values), [True, True])
+        np.testing.assert_array_equal(non_dominated_mask(values), [True, False])
+
+    def test_strictly_dominated_removed(self):
+        values = np.array([[1.0, 1.0], [2.0, 2.0]])
+        np.testing.assert_array_equal(weak_non_dominated_mask(values), [True, False])
+
+    def test_paper_table4_scenario(self):
+        """The paper's pooled rows survive only under weak dominance."""
+        # (acc->min, lat, mem): rows A and C of Table 4 at tied memory.
+        a = [-96.13, 8.19, 11.18]
+        c = [-95.79, 18.30, 11.18]
+        values = np.array([a, c])
+        np.testing.assert_array_equal(non_dominated_mask(values), [True, False])
+        np.testing.assert_array_equal(weak_non_dominated_mask(values), [True, True])
+
+
+class TestEpsilonDominance:
+    def test_zero_epsilon_keeps_standard_front_points(self):
+        rng = np.random.default_rng(2)
+        values = rng.normal(size=(50, 2))
+        eps_mask = epsilon_non_dominated_mask(values, 0.0)
+        standard = non_dominated_mask(values)
+        # Standard-dominated points stay dominated at eps=0.
+        assert not np.any(eps_mask & ~standard)
+
+    def test_larger_epsilon_thins_front(self):
+        rng = np.random.default_rng(3)
+        values = rng.random((60, 2))
+        small = epsilon_non_dominated_mask(values, 0.01).sum()
+        large = epsilon_non_dominated_mask(values, 0.3).sum()
+        assert large <= small
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            epsilon_non_dominated_mask(np.zeros((2, 2)), -0.1)
+
+
+class TestIgdSpread:
+    def test_igd_zero_when_covering(self):
+        front = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert igd(front, front) == 0.0
+
+    def test_igd_grows_with_distance(self):
+        reference = np.array([[0.0, 0.0]])
+        near = np.array([[0.1, 0.1]])
+        far = np.array([[1.0, 1.0]])
+        assert igd(near, reference) < igd(far, reference)
+
+    def test_igd_validation(self):
+        with pytest.raises(ValueError):
+            igd(np.zeros((0, 2)), np.ones((1, 2)))
+        with pytest.raises(ValueError):
+            igd(np.ones((1, 2)), np.zeros((0, 2)))
+
+    def test_spread_uniform_is_zero(self):
+        points = np.array([[0.0, 3.0], [1.0, 2.0], [2.0, 1.0], [3.0, 0.0]])
+        assert spread(points) == pytest.approx(0.0)
+
+    def test_spread_clustered_is_positive(self):
+        points = np.array([[0.0, 3.0], [0.1, 2.9], [0.2, 2.8], [3.0, 0.0]])
+        assert spread(points) > 0.3
+
+    def test_spread_tiny_fronts(self):
+        assert spread(np.array([[1.0, 2.0]])) == 0.0

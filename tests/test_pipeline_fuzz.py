@@ -1,0 +1,79 @@
+"""Property-based fuzzing of the config -> model -> IR -> objectives path.
+
+For arbitrary grid configurations, the full measurement pipeline must be
+internally consistent: trace parameters equal model parameters, the
+latency is positive on every device, the exported container round-trips,
+and wider/deeper variants cost monotonically more.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.graph.flops import count_graph_flops
+from repro.graph.trace import trace_model
+from repro.latency.predictors import predict_all_devices
+from repro.nas.config import ModelConfig
+from repro.nn import build_model, count_parameters
+from repro.onnxlite.export import export_model
+from repro.onnxlite.reader import proto_from_bytes
+
+config_strategy = st.builds(
+    ModelConfig,
+    channels=st.sampled_from((5, 7)),
+    batch=st.sampled_from((8, 16, 32)),
+    kernel_size=st.sampled_from((3, 7)),
+    stride=st.sampled_from((1, 2)),
+    padding=st.sampled_from((1, 2, 3)),
+    pool_choice=st.sampled_from((0, 1)),
+    kernel_size_pool=st.sampled_from((2, 3)),
+    stride_pool=st.sampled_from((1, 2)),
+    initial_output_feature=st.sampled_from((32, 48, 64)),
+)
+
+_slow = settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestPipelineConsistency:
+    @_slow
+    @given(config_strategy)
+    def test_trace_matches_model(self, config):
+        model = build_model(config, seed=0)
+        graph = trace_model(model, input_hw=(64, 64))
+        assert graph.total_params() == count_parameters(model)
+        graph.validate()
+
+    @_slow
+    @given(config_strategy)
+    def test_latency_positive_on_all_devices(self, config):
+        model = build_model(config, seed=0)
+        graph = trace_model(model, input_hw=(64, 64))
+        summary = predict_all_devices(graph)
+        assert all(v > 0 for v in summary.per_device_ms.values())
+        assert summary.std_ms >= 0
+
+    @_slow
+    @given(config_strategy)
+    def test_export_roundtrip(self, config):
+        model = build_model(config, seed=0)
+        blob = export_model(model, input_hw=(64, 64))
+        proto = proto_from_bytes(blob)
+        params = count_parameters(model)
+        buffers = sum(int(np.asarray(b).size) for _, b in model.named_buffers())
+        assert proto.parameter_count() == params + buffers
+
+    @_slow
+    @given(config_strategy)
+    def test_width_monotonicity(self, config):
+        """Doubling the initial feature width increases params and FLOPs."""
+        if config.initial_output_feature != 32:
+            return
+        from dataclasses import replace
+
+        wide = replace(config, initial_output_feature=64)
+        narrow_model = build_model(config, seed=0)
+        wide_model = build_model(wide, seed=0)
+        assert count_parameters(wide_model) > count_parameters(narrow_model)
+        g_narrow = trace_model(narrow_model, input_hw=(64, 64))
+        g_wide = trace_model(wide_model, input_hw=(64, 64))
+        assert count_graph_flops(g_wide) > count_graph_flops(g_narrow)

@@ -1,0 +1,137 @@
+"""Post-training quantization: primitives and model-level behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import SearchableResNet18, count_parameters
+from repro.quant import (
+    AffineQuantizer,
+    fake_quantize_model,
+    quantization_error,
+    quantize_affine,
+    quantize_state_dict,
+    quantized_size_mb,
+)
+
+float_tensors = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(1, 200),
+    elements=st.floats(-100, 100, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestAffineQuantizer:
+    def test_symmetric_zero_point_is_zero(self):
+        quantizer = AffineQuantizer.fit(np.array([-2.0, 3.0]), symmetric=True)
+        assert quantizer.zero_point == 0
+
+    def test_roundtrip_error_bounded_by_half_scale(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=1000)
+        quantizer = AffineQuantizer.fit(values, symmetric=True)
+        reconstructed = quantizer.roundtrip(values)
+        assert np.abs(values - reconstructed).max() <= 0.5 * quantizer.scale + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(float_tensors)
+    def test_codes_within_dtype_range(self, values):
+        codes, quantizer = quantize_affine(values)
+        assert codes.min() >= quantizer.qmin
+        assert codes.max() <= quantizer.qmax
+        assert codes.dtype == np.int8
+
+    @settings(max_examples=30, deadline=None)
+    @given(float_tensors)
+    def test_roundtrip_idempotent(self, values):
+        """Quantizing already-quantized values is exact."""
+        quantizer = AffineQuantizer.fit(values, symmetric=True)
+        once = quantizer.roundtrip(values)
+        twice = quantizer.roundtrip(once)
+        np.testing.assert_allclose(once, twice, atol=1e-6)
+
+    def test_asymmetric_covers_skewed_range(self):
+        values = np.linspace(10.0, 11.0, 100)
+        quantizer = AffineQuantizer.fit(values, symmetric=False)
+        reconstructed = quantizer.roundtrip(values)
+        # Range extends to zero (TFLite convention) -> scale 11/255.
+        assert np.abs(values - reconstructed).max() <= 0.5 * quantizer.scale + 1e-9
+        # Symmetric wastes half the integer range on negatives.
+        symmetric = AffineQuantizer.fit(values, symmetric=True)
+        assert quantizer.scale < symmetric.scale
+
+    def test_asymmetric_zero_exactly_representable(self):
+        values = np.array([3.0, 9.0])
+        quantizer = AffineQuantizer.fit(values, symmetric=False)
+        assert quantizer.dequantize(np.array([quantizer.zero_point], dtype=np.int8))[0] == 0.0
+
+    def test_int16_more_precise_than_int8(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=500)
+        assert quantization_error(values, "int16") < quantization_error(values, "int8")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AffineQuantizer(scale=0.0, zero_point=0)
+        with pytest.raises(ValueError):
+            AffineQuantizer(scale=1.0, zero_point=0, dtype="int4")
+        with pytest.raises(ValueError):
+            AffineQuantizer.fit(np.zeros(0))
+
+    def test_constant_tensor_safe(self):
+        codes, quantizer = quantize_affine(np.zeros(10))
+        np.testing.assert_array_equal(quantizer.dequantize(codes), np.zeros(10))
+
+
+class TestModelQuantization:
+    def _model(self):
+        return SearchableResNet18(in_channels=5, kernel_size=3, stride=2, padding=1,
+                                  pool_choice=0, initial_output_feature=32, seed=0)
+
+    def test_state_dict_quantization_targets_weights_only(self):
+        model = self._model()
+        state = model.state_dict()
+        quantized, quantizers = quantize_state_dict(state)
+        assert set(state) == set(quantized)
+        # Conv/FC weights quantized; BN scale/shift and buffers untouched.
+        assert "conv1.weight" in quantizers
+        assert "bn1.weight" not in quantizers
+        np.testing.assert_array_equal(quantized["bn1.weight"], state["bn1.weight"])
+
+    def test_fake_quant_changes_weights_slightly(self):
+        model = self._model()
+        original = model.conv1.weight.data.copy()
+        quantizers = fake_quantize_model(model)
+        changed = model.conv1.weight.data
+        assert not np.array_equal(original, changed)
+        relative = np.abs(original - changed).max() / (np.abs(original).max() + 1e-12)
+        assert relative < 0.01  # int8 error is sub-percent at the tensor scale
+        assert "fc.weight" in quantizers
+
+    def test_fake_quant_preserves_predictions_mostly(self):
+        from repro.tensor.tensor import Tensor, no_grad
+
+        model = self._model()
+        model.eval()
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 5, 32, 32)).astype(np.float32))
+        with no_grad():
+            before = model(x).data.copy()
+        fake_quantize_model(model)
+        with no_grad():
+            after = model(x).data
+        # Logits move, but by far less than their scale.
+        assert np.abs(before - after).max() < 0.25 * (np.abs(before).max() + 1.0)
+
+    def test_quantized_size_is_about_4x_smaller(self):
+        model = self._model()
+        fp32_mb = 4 * count_parameters(model) / 1e6
+        int8_mb = quantized_size_mb(model)
+        assert 3.5 < fp32_mb / int8_mb < 4.2
+
+    def test_int16_size_between_int8_and_fp32(self):
+        model = self._model()
+        int8 = quantized_size_mb(model, "int8")
+        int16 = quantized_size_mb(model, "int16")
+        fp32 = 4 * count_parameters(model) / 1e6
+        assert int8 < int16 < fp32

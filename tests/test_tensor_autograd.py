@@ -1,0 +1,202 @@
+"""Gradient and semantics tests for the core autograd engine."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, check_gradients, no_grad, is_grad_enabled
+from repro.tensor.tensor import stack
+
+
+def _t(shape, seed=0, requires_grad=True, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=shape) * scale, requires_grad=requires_grad)
+
+
+class TestBasics:
+    def test_dtype_always_float32(self):
+        assert Tensor([1, 2, 3]).dtype == np.float32
+        assert Tensor(np.arange(3, dtype=np.float64)).dtype == np.float32
+
+    def test_item_scalar_only(self):
+        assert Tensor([[2.0]]).item() == 2.0
+        with pytest.raises(ValueError):
+            Tensor([1.0, 2.0]).item()
+
+    def test_detach_shares_data_cuts_graph(self):
+        x = _t((3,))
+        d = x.detach()
+        assert d.data is x.data
+        assert not d.requires_grad
+
+    def test_zeros_ones_factories(self):
+        assert Tensor.zeros(2, 3).shape == (2, 3)
+        assert float(Tensor.ones(4).data.sum()) == 4.0
+
+    def test_len_and_repr(self):
+        x = _t((5, 2))
+        assert len(x) == 5
+        assert "shape=(5, 2)" in repr(x)
+
+
+class TestBackwardMechanics:
+    def test_backward_requires_grad(self):
+        x = Tensor([1.0])
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_backward_nonscalar_needs_seed(self):
+        x = _t((3,))
+        y = x * 2
+        with pytest.raises(RuntimeError):
+            y.backward()
+        y.backward(np.ones(3, dtype=np.float32))
+        np.testing.assert_allclose(x.grad, 2.0 * np.ones(3))
+
+    def test_seed_shape_checked(self):
+        x = _t((3,))
+        with pytest.raises(ValueError):
+            (x * 1.0).backward(np.ones(2, dtype=np.float32))
+
+    def test_grad_accumulates_across_backward_calls(self):
+        x = _t((2,))
+        (x * 3.0).sum().backward()
+        (x * 3.0).sum().backward()
+        np.testing.assert_allclose(x.grad, 6.0 * np.ones(2))
+
+    def test_zero_grad(self):
+        x = _t((2,))
+        (x.sum()).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        x = _t((3,))
+        y = x * 2.0
+        z = (y + y).sum()  # two paths through y
+        z.backward()
+        np.testing.assert_allclose(x.grad, 4.0 * np.ones(3))
+
+    def test_deep_chain_no_recursion_error(self):
+        x = _t((2,))
+        y = x
+        for _ in range(3000):
+            y = y + 1.0
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones(2))
+
+    def test_no_grad_disables_tape(self):
+        x = _t((2,))
+        with no_grad():
+            assert not is_grad_enabled()
+            y = x * 2
+        assert not y.requires_grad
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+
+class TestArithmeticGradients:
+    @pytest.mark.parametrize(
+        "fn",
+        [
+            lambda ts: ts[0] + ts[1],
+            lambda ts: ts[0] - ts[1],
+            lambda ts: ts[0] * ts[1],
+            lambda ts: ts[0] / (ts[1] * ts[1] + 2.0),
+        ],
+        ids=["add", "sub", "mul", "div"],
+    )
+    def test_binary_ops(self, fn):
+        check_gradients(fn, [_t((3, 4), seed=1), _t((3, 4), seed=2)])
+
+    def test_broadcast_add(self):
+        check_gradients(lambda ts: ts[0] + ts[1], [_t((3, 4), 1), _t((4,), 2)])
+
+    def test_broadcast_mul_scalar_operand(self):
+        check_gradients(lambda ts: ts[0] * ts[1], [_t((2, 3), 1), _t((1,), 2)])
+
+    def test_neg_pow(self):
+        check_gradients(lambda ts: -(ts[0] ** 2.0), [_t((4,), 3)])
+
+    def test_rsub_rdiv(self):
+        x = Tensor([2.0, 4.0], requires_grad=True)
+        y = 1.0 - x
+        np.testing.assert_allclose(y.data, [-1.0, -3.0])
+        z = 8.0 / x
+        np.testing.assert_allclose(z.data, [4.0, 2.0])
+
+    def test_matmul_grad(self):
+        check_gradients(lambda ts: ts[0] @ ts[1], [_t((3, 4), 1), _t((4, 2), 2)])
+
+    def test_matmul_requires_2d(self):
+        with pytest.raises(ValueError):
+            _t((3,)) @ _t((3,))
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            _t((2,)) ** _t((2,))  # type: ignore[operator]
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_keepdims(self):
+        check_gradients(lambda ts: ts[0].sum(axis=1), [_t((3, 4))])
+        check_gradients(lambda ts: ts[0].sum(axis=(0, 2), keepdims=True), [_t((2, 3, 4))])
+
+    def test_mean_matches_numpy(self):
+        x = _t((4, 5))
+        np.testing.assert_allclose(x.mean(axis=0).data, x.data.mean(axis=0), rtol=1e-5)
+        check_gradients(lambda ts: ts[0].mean(axis=1), [_t((3, 4))])
+
+    def test_max_grad_flows_to_argmax(self):
+        x = Tensor([[1.0, 5.0, 2.0]], requires_grad=True)
+        x.max(axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0.0, 1.0, 0.0]])
+
+    def test_max_ties_split_gradient(self):
+        x = Tensor([[3.0, 3.0]], requires_grad=True)
+        x.max(axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0.5, 0.5]])
+
+    def test_reshape_transpose_grads(self):
+        check_gradients(lambda ts: ts[0].reshape(6, 2) * 3.0, [_t((3, 4))])
+        check_gradients(lambda ts: ts[0].transpose(1, 0) * 2.0, [_t((3, 4))])
+
+    def test_getitem_fancy_index(self):
+        x = _t((5, 3))
+        idx = np.array([0, 2, 2])
+        y = x[idx]
+        assert y.shape == (3, 3)
+        y.sum().backward()
+        assert x.grad[2].sum() == pytest.approx(2 * 3)  # row 2 picked twice
+
+    def test_pad2d(self):
+        x = _t((1, 1, 3, 3))
+        y = x.pad2d(2)
+        assert y.shape == (1, 1, 7, 7)
+        check_gradients(lambda ts: ts[0].pad2d(1), [_t((1, 2, 3, 3))])
+        with pytest.raises(ValueError):
+            x.pad2d(-1)
+        assert x.pad2d(0) is x
+
+    def test_stack(self):
+        xs = [_t((2, 2), seed=i) for i in range(3)]
+        y = stack(xs, axis=0)
+        assert y.shape == (3, 2, 2)
+        y.sum().backward()
+        for x in xs:
+            np.testing.assert_allclose(x.grad, np.ones((2, 2)))
+
+
+class TestPointwise:
+    def test_relu_grad(self):
+        check_gradients(lambda ts: ts[0].relu(), [_t((4, 4), scale=2.0)])
+
+    def test_exp_log_sqrt_grads(self):
+        check_gradients(lambda ts: ts[0].exp(), [_t((3,), scale=0.5)])
+        positive = Tensor(np.abs(np.random.default_rng(0).normal(size=4)) + 1.0, requires_grad=True)
+        check_gradients(lambda ts: ts[0].log(), [positive])
+        check_gradients(lambda ts: ts[0].sqrt(), [positive])

@@ -1,0 +1,138 @@
+"""Convolution / pooling: reference equivalence, gradients, geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import signal
+
+from repro.tensor import Tensor, avg_pool2d, check_gradients, conv2d, global_avg_pool2d, max_pool2d
+from repro.tensor.conv_ops import conv_output_size, pool_output_size
+
+
+def _t(shape, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=shape) * scale, requires_grad=True)
+
+
+def _reference_conv(x, w, b, stride, padding):
+    """Direct scipy cross-correlation reference."""
+    n, c_in, h, wd = x.shape
+    c_out, _, k, _ = w.shape
+    xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    oh = conv_output_size(h, k, stride, padding)
+    ow = conv_output_size(wd, k, stride, padding)
+    out = np.zeros((n, c_out, oh, ow), dtype=np.float64)
+    for i in range(n):
+        for f in range(c_out):
+            acc = np.zeros((xp.shape[2] - k + 1, xp.shape[3] - k + 1))
+            for c in range(c_in):
+                acc += signal.correlate2d(xp[i, c], w[f, c], mode="valid")
+            out[i, f] = acc[::stride, ::stride] + (b[f] if b is not None else 0.0)
+    return out
+
+
+class TestConvForward:
+    @pytest.mark.parametrize("stride,padding,kernel", [(1, 0, 3), (2, 1, 3), (2, 3, 7), (1, 2, 5)])
+    def test_matches_scipy_reference(self, stride, padding, kernel):
+        rng = np.random.default_rng(kernel)
+        x = rng.normal(size=(2, 3, 12, 12)).astype(np.float32)
+        w = rng.normal(size=(4, 3, kernel, kernel)).astype(np.float32) * 0.2
+        b = rng.normal(size=4).astype(np.float32)
+        out = conv2d(Tensor(x), Tensor(w), Tensor(b), stride=stride, padding=padding)
+        ref = _reference_conv(x, w, b, stride, padding)
+        np.testing.assert_allclose(out.data, ref, rtol=1e-3, atol=1e-4)
+
+    def test_no_bias(self):
+        out = conv2d(_t((1, 2, 5, 5)), _t((3, 2, 3, 3), 1), None, stride=1, padding=1)
+        assert out.shape == (1, 3, 5, 5)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            conv2d(_t((1, 2, 4, 4)), _t((3, 2, 7, 7), 1), None)  # collapses
+        with pytest.raises(ValueError):
+            conv2d(_t((1, 2, 8, 8)), _t((3, 5, 3, 3), 1), None)  # channel mismatch
+        with pytest.raises(ValueError):
+            conv2d(_t((2, 8, 8)), _t((3, 2, 3, 3), 1), None)  # not 4-D
+        with pytest.raises(ValueError):
+            conv2d(_t((1, 2, 8, 8)), _t((3, 2, 3, 3), 1), None, stride=0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        size=st.integers(6, 14),
+        kernel=st.sampled_from([1, 3, 5]),
+        stride=st.integers(1, 3),
+        padding=st.integers(0, 2),
+    )
+    def test_output_shape_formula(self, size, kernel, stride, padding):
+        expected = conv_output_size(size, kernel, stride, padding)
+        if expected < 1:
+            return
+        out = conv2d(_t((1, 1, size, size)), _t((2, 1, kernel, kernel), 1), None,
+                     stride=stride, padding=padding)
+        assert out.shape == (1, 2, expected, expected)
+
+
+class TestConvBackward:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (2, 1), (1, 1)])
+    def test_gradients(self, stride, padding):
+        x = _t((2, 2, 6, 6), 1)
+        w = _t((3, 2, 3, 3), 2, scale=0.3)
+        b = _t((3,), 3)
+        check_gradients(lambda ts: conv2d(ts[0], ts[1], ts[2], stride=stride, padding=padding), [x, w, b])
+
+    def test_grad_skipped_for_frozen_weight(self):
+        x = _t((1, 1, 4, 4))
+        w = Tensor(np.ones((1, 1, 3, 3), dtype=np.float32), requires_grad=False)
+        out = conv2d(x, w, None, stride=1, padding=0)
+        out.sum().backward()
+        assert w.grad is None
+        assert x.grad is not None
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4), requires_grad=True)
+        y = max_pool2d(x, 2, 2)
+        np.testing.assert_allclose(y.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_max_pool_grad_hits_argmax_only(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4), requires_grad=True)
+        max_pool2d(x, 2, 2).sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1.0
+        np.testing.assert_allclose(x.grad[0, 0], expected)
+
+    def test_max_pool_overlapping_windows_grad(self):
+        check_gradients(lambda ts: max_pool2d(ts[0], 3, 1), [_t((1, 2, 6, 6), 5)])
+
+    def test_avg_pool_matches_mean(self):
+        x = _t((2, 3, 6, 6), 7)
+        y = avg_pool2d(x, 2, 2)
+        manual = x.data.reshape(2, 3, 3, 2, 3, 2).mean(axis=(3, 5))
+        np.testing.assert_allclose(y.data, manual, rtol=1e-5)
+
+    def test_avg_pool_grad(self):
+        check_gradients(lambda ts: avg_pool2d(ts[0], 2, 2), [_t((1, 2, 4, 4))])
+        check_gradients(lambda ts: avg_pool2d(ts[0], 3, 2), [_t((1, 1, 7, 7))])
+
+    def test_global_avg_pool(self):
+        x = _t((2, 3, 4, 4))
+        y = global_avg_pool2d(x)
+        assert y.shape == (2, 3)
+        np.testing.assert_allclose(y.data, x.data.mean(axis=(2, 3)), rtol=1e-5)
+        check_gradients(lambda ts: global_avg_pool2d(ts[0]), [_t((2, 2, 3, 3))])
+
+    def test_pool_geometry_validation(self):
+        with pytest.raises(ValueError):
+            max_pool2d(_t((1, 1, 2, 2)), 3, 1)
+        with pytest.raises(ValueError):
+            avg_pool2d(_t((1, 1, 2, 2)), 3, 1)
+        with pytest.raises(ValueError):
+            max_pool2d(_t((1, 2, 2)), 2, 2)
+        with pytest.raises(ValueError):
+            global_avg_pool2d(_t((2, 3)))
+
+    def test_pool_output_size_formula(self):
+        assert pool_output_size(10, 2, 2) == 5
+        assert pool_output_size(10, 3, 2) == 4
+        assert pool_output_size(5, 3, 1) == 3

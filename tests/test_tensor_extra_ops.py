@@ -1,0 +1,110 @@
+"""Extended tensor ops: abs, clip, split, concat — semantics + gradients."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, check_gradients
+from repro.tensor.tensor import concat, stack
+
+
+def _t(shape, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=shape) * scale, requires_grad=True)
+
+
+class TestAbs:
+    def test_values(self):
+        x = Tensor([-2.0, 3.0, 0.0])
+        np.testing.assert_allclose(x.abs().data, [2.0, 3.0, 0.0])
+
+    def test_gradient(self):
+        # Keep values away from the kink for a clean finite-difference check.
+        x = Tensor(np.array([-2.0, 1.5, 3.0, -0.8], dtype=np.float32), requires_grad=True)
+        check_gradients(lambda ts: ts[0].abs(), [x])
+
+    def test_subgradient_zero_at_zero(self):
+        x = Tensor([0.0], requires_grad=True)
+        x.abs().sum().backward()
+        assert x.grad[0] == 0.0
+
+
+class TestClip:
+    def test_values(self):
+        x = Tensor([-5.0, 0.5, 5.0])
+        np.testing.assert_allclose(x.clip(-1.0, 1.0).data, [-1.0, 0.5, 1.0])
+
+    def test_gradient_zero_outside(self):
+        x = Tensor([-5.0, 0.5, 5.0], requires_grad=True)
+        x.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Tensor([1.0]).clip(2.0, 1.0)
+
+    def test_gradient_check_interior(self):
+        x = Tensor(np.array([0.2, -0.3, 0.4], dtype=np.float32), requires_grad=True)
+        check_gradients(lambda ts: ts[0].clip(-1.0, 1.0), [x])
+
+
+class TestSplit:
+    def test_values_and_shapes(self):
+        x = _t((6, 3))
+        parts = x.split(3, axis=0)
+        assert len(parts) == 3
+        for i, part in enumerate(parts):
+            np.testing.assert_array_equal(part.data, x.data[2 * i : 2 * i + 2])
+
+    def test_gradients_route_to_slices(self):
+        x = _t((4, 2))
+        a, b = x.split(2, axis=0)
+        (a.sum() * 2.0 + b.sum() * 3.0).backward()
+        np.testing.assert_allclose(x.grad[:2], 2.0)
+        np.testing.assert_allclose(x.grad[2:], 3.0)
+
+    def test_axis_one(self):
+        x = _t((2, 6))
+        parts = x.split(2, axis=1)
+        assert parts[0].shape == (2, 3)
+        parts[1].sum().backward()
+        np.testing.assert_allclose(x.grad[:, :3], 0.0)
+        np.testing.assert_allclose(x.grad[:, 3:], 1.0)
+
+    def test_uneven_split_rejected(self):
+        with pytest.raises(ValueError):
+            _t((5, 2)).split(2, axis=0)
+
+
+class TestConcat:
+    def test_values(self):
+        a, b = _t((2, 3), 1), _t((4, 3), 2)
+        out = concat([a, b], axis=0)
+        assert out.shape == (6, 3)
+        np.testing.assert_array_equal(out.data[:2], a.data)
+
+    def test_gradients_partition(self):
+        a, b = _t((2, 3), 1), _t((3, 3), 2)
+        concat([a, b], axis=0).sum().backward()
+        np.testing.assert_allclose(a.grad, 1.0)
+        np.testing.assert_allclose(b.grad, 1.0)
+
+    def test_axis_one_gradcheck(self):
+        a, b = _t((2, 2), 3), _t((2, 4), 4)
+        check_gradients(lambda ts: concat(ts, axis=1) * 2.0, [a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            concat([])
+
+    def test_split_concat_roundtrip(self):
+        x = _t((6, 4), 5)
+        parts = x.split(3, axis=0)
+        back = concat(parts, axis=0)
+        np.testing.assert_array_equal(back.data, x.data)
+        back.sum().backward()
+        np.testing.assert_allclose(x.grad, 1.0)
+
+    def test_stack_vs_concat_shapes(self):
+        xs = [_t((2, 2), seed=i) for i in range(3)]
+        assert stack(xs, axis=0).shape == (3, 2, 2)
+        assert concat(xs, axis=0).shape == (6, 2)

@@ -1,0 +1,136 @@
+"""Tests for NN functional primitives: stability, gradients, semantics."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, check_gradients
+from repro.tensor import functional as F
+
+
+def _t(shape, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=shape) * scale, requires_grad=True)
+
+
+class TestActivations:
+    def test_sigmoid_stable_for_extreme_inputs(self):
+        x = Tensor([-500.0, 0.0, 500.0])
+        y = F.sigmoid(x)
+        np.testing.assert_allclose(y.data, [0.0, 0.5, 1.0], atol=1e-6)
+        assert np.isfinite(y.data).all()
+
+    def test_sigmoid_tanh_grads(self):
+        check_gradients(lambda ts: F.sigmoid(ts[0]), [_t((3, 3))])
+        check_gradients(lambda ts: F.tanh(ts[0]), [_t((3, 3))])
+
+    def test_relu_alias(self):
+        x = Tensor([-1.0, 2.0])
+        np.testing.assert_allclose(F.relu(x).data, [0.0, 2.0])
+
+
+class TestSoftmax:
+    def test_softmax_rows_sum_to_one(self):
+        y = F.softmax(_t((5, 7)), axis=1)
+        np.testing.assert_allclose(y.data.sum(axis=1), np.ones(5), rtol=1e-5)
+
+    def test_log_softmax_stability_large_logits(self):
+        x = Tensor([[1000.0, 1000.0]])
+        y = F.log_softmax(x, axis=1)
+        np.testing.assert_allclose(y.data, np.log(0.5) * np.ones((1, 2)), rtol=1e-5)
+
+    def test_log_softmax_grad(self):
+        check_gradients(lambda ts: F.log_softmax(ts[0], axis=1), [_t((4, 3))])
+
+
+class TestCrossEntropy:
+    def test_matches_manual_computation(self):
+        logits = Tensor([[2.0, 0.0], [0.0, 3.0]])
+        targets = np.array([0, 1])
+        loss = F.cross_entropy_logits(logits, targets)
+        expected = float(np.mean([np.log(1 + np.exp(-2.0)), np.log(1 + np.exp(-3.0))]))
+        assert loss.item() == pytest.approx(expected, rel=1e-5)
+
+    def test_uniform_logits_give_log_c(self):
+        logits = Tensor(np.zeros((4, 3)))
+        loss = F.cross_entropy_logits(logits, np.zeros(4, dtype=int))
+        assert loss.item() == pytest.approx(np.log(3.0), rel=1e-5)
+
+    def test_gradient(self):
+        t = np.array([0, 1, 1, 0])
+        check_gradients(lambda ts: F.cross_entropy_logits(ts[0], t), [_t((4, 2))])
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy_logits(_t((4,)), np.zeros(4, dtype=int))
+        with pytest.raises(ValueError):
+            F.cross_entropy_logits(_t((4, 2)), np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            F.cross_entropy_logits(_t((2, 2)), np.array([0, 5]))
+
+
+class TestLinear:
+    def test_shapes_and_grad(self):
+        x, w, b = _t((3, 4), 1), _t((2, 4), 2), _t((2,), 3)
+        y = F.linear(x, w, b)
+        assert y.shape == (3, 2)
+        check_gradients(lambda ts: F.linear(*ts), [x, w, b])
+
+
+class TestDropout:
+    def test_eval_mode_identity(self):
+        x = _t((4, 4))
+        assert F.dropout(x, 0.5, training=False) is x
+        assert F.dropout(x, 0.0) is x
+
+    def test_scaling_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 200)))
+        y = F.dropout(x, 0.3, rng=rng)
+        assert y.data.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            F.dropout(_t((2,)), 1.0)
+
+
+class TestBatchNorm:
+    def _params(self, c):
+        gamma = Tensor(np.ones(c), requires_grad=True)
+        beta = Tensor(np.zeros(c), requires_grad=True)
+        return gamma, beta, np.zeros(c, np.float32), np.ones(c, np.float32)
+
+    def test_training_normalizes_batch(self):
+        g, b, rm, rv = self._params(3)
+        x = _t((8, 3, 5, 5), scale=3.0)
+        y = F.batch_norm_2d(x, g, b, rm, rv, training=True)
+        assert abs(float(y.data.mean())) < 1e-4
+        assert float(y.data.std()) == pytest.approx(1.0, abs=1e-2)
+
+    def test_running_stats_updated_toward_batch(self):
+        g, b, rm, rv = self._params(2)
+        x = Tensor(np.random.default_rng(0).normal(3.0, 2.0, size=(16, 2, 4, 4)))
+        F.batch_norm_2d(x, g, b, rm, rv, training=True, momentum=1.0)
+        np.testing.assert_allclose(rm, x.data.mean(axis=(0, 2, 3)), rtol=1e-4)
+
+    def test_eval_uses_running_stats(self):
+        g, b, rm, rv = self._params(2)
+        rm[:] = 1.0
+        rv[:] = 4.0
+        x = Tensor(np.full((2, 2, 2, 2), 3.0, dtype=np.float32))
+        y = F.batch_norm_2d(x, g, b, rm, rv, training=False)
+        np.testing.assert_allclose(y.data, (3.0 - 1.0) / 2.0, rtol=1e-3)
+
+    def test_eval_mode_grad(self):
+        g, b, rm, rv = self._params(3)
+        x = _t((4, 3, 2, 2))
+        check_gradients(
+            lambda ts: F.batch_norm_2d(ts[0], ts[1], ts[2], rm.copy(), rv.copy(), training=False),
+            [x, g, b],
+        )
+
+    def test_shape_validation(self):
+        g, b, rm, rv = self._params(3)
+        with pytest.raises(ValueError):
+            F.batch_norm_2d(_t((4, 3)), g, b, rm, rv, training=True)
+        with pytest.raises(ValueError):
+            F.batch_norm_2d(_t((2, 4, 3, 3)), g, b, rm, rv, training=True)
