@@ -1,13 +1,21 @@
 """Substrate performance benchmarks (pytest-benchmark timings only).
 
 These cover the hot paths the reproduction rests on: im2col convolution
-forward/backward, full-model inference, onnxlite export, 4-device latency
-prediction, front extraction at scale, and dataset synthesis.
+forward/backward, full-model inference (training stack, interpreted
+deploy runtime, and compiled inference plan), onnxlite export, 4-device
+latency prediction, front extraction at scale, and dataset synthesis.
+
+Per the repo convention, assertions capture the qualitative *shape* of
+the result (orderings, ratios) with documented tolerances, never exact
+wall-clock values.
 """
+
+import time
 
 import numpy as np
 import pytest
 
+from repro.deploy import load_runtime
 from repro.graph.trace import trace_model
 from repro.latency.predictors import predict_all_devices
 from repro.nn.resnet import SearchableResNet18
@@ -21,6 +29,18 @@ from repro.tensor.tensor import no_grad
 def winner_model():
     return SearchableResNet18(in_channels=5, kernel_size=3, stride=2, padding=1,
                               pool_choice=0, initial_output_feature=32)
+
+
+@pytest.fixture(scope="module")
+def winner_runtime(winner_model):
+    """Interpreted deploy runtime for the Pareto-winner architecture."""
+    return load_runtime(export_model(winner_model, (100, 100)))
+
+
+@pytest.fixture(scope="module")
+def winner_plan(winner_runtime):
+    """Compiled inference plan for the same model (shared arena)."""
+    return winner_runtime.compile()
 
 
 class TestConvPerformance:
@@ -74,6 +94,74 @@ class TestModelPerformance:
     def test_onnxlite_export(self, benchmark, winner_model):
         blob = benchmark(export_model, winner_model, (100, 100))
         assert len(blob) > 10_000_000  # ~11 MB of weights
+
+
+class TestDeployRuntimePerformance:
+    """Naive interpreter vs. compiled plan on single-image inference."""
+
+    def test_interpreted_single_image(self, benchmark, winner_runtime):
+        x = np.random.default_rng(0).normal(size=(1, 5, 100, 100)).astype(np.float32)
+        out = benchmark(winner_runtime.run, x)
+        assert out.shape == (1, 2)
+
+    def test_compiled_single_image(self, benchmark, winner_plan):
+        x = np.random.default_rng(0).normal(size=(1, 5, 100, 100)).astype(np.float32)
+        out = benchmark(winner_plan.run, x)
+        assert out.shape == (1, 2)
+
+    def test_compiled_beats_interpreter(self, benchmark, winner_runtime, winner_plan):
+        """Compiled <= 0.8x naive wall time on the Pareto-winner model.
+
+        Tolerance rationale: BN folding alone removes one full-tensor
+        pass per conv and fusion removes the ReLU pass, so anything
+        short of a 1.25x speedup means the compile pipeline regressed;
+        locally the plan runs ~1.8x faster, leaving headroom for noisy
+        CI machines.  Median-of-repeats guards against scheduler blips.
+        """
+        x = np.random.default_rng(0).normal(size=(1, 5, 100, 100)).astype(np.float32)
+        winner_runtime.run(x)  # warm caches
+        winner_plan.run(x)     # populate the arena pool
+
+        def median_seconds(fn, repeats=7):
+            times = []
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                fn(x)
+                times.append(time.perf_counter() - t0)
+            return sorted(times)[len(times) // 2]
+
+        if getattr(benchmark, "disabled", False):
+            compiled = median_seconds(winner_plan.run)
+        else:
+            benchmark(winner_plan.run, x)
+            compiled = benchmark.stats.stats.median
+        naive = median_seconds(winner_runtime.run)
+        assert compiled <= 0.8 * naive, (
+            f"compiled plan ({compiled * 1e3:.2f} ms) should run in <= 80% of "
+            f"the interpreter ({naive * 1e3:.2f} ms)"
+        )
+
+    def test_planner_reduces_peak_intermediate_memory(self, benchmark, winner_runtime, winner_plan):
+        """The arena's planned peak stays well under the interpreter's env.
+
+        Qualitative shape assertion: the interpreter keeps *every*
+        activation alive, the planner only the live set — for this
+        architecture that is >4x less; we assert the conservative 2x.
+        """
+        x = np.random.default_rng(0).normal(size=(1, 5, 100, 100)).astype(np.float32)
+        winner_runtime.run(x)
+        measured_naive = winner_runtime.last_env_bytes
+        benchmark(winner_plan.run, x)
+        planned = winner_plan.planned_peak_bytes(batch=1)
+        assert planned * 2 < measured_naive
+        # Static accounting agrees with the measured environment
+        # (both exclude weights; input tensor included in each).
+        static_naive = winner_plan.naive_env_bytes(batch=1)
+        assert measured_naive == static_naive
+        # Steady state allocates nothing: every buffer is pool-served.
+        stats_before = winner_plan.memory_stats()
+        winner_plan.run(x)
+        assert winner_plan.memory_stats()["allocations"] == stats_before["allocations"]
 
 
 class TestParetoPerformance:

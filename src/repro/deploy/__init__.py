@@ -2,12 +2,21 @@
 
 The paper's deployment story ends at an ONNX file consumed by an edge
 runtime (TFLite / OpenVINO).  This subpackage is that runtime's
-stand-in: :class:`~repro.deploy.runtime.OnnxliteRuntime` loads a
-serialized model and executes it with NumPy kernels that share **no code**
-with :mod:`repro.nn` — so a train -> export -> deploy round trip
-cross-validates both implementations (see ``tests/test_deploy.py``).
+stand-in, with two execution paths:
+
+- :class:`~repro.deploy.runtime.OnnxliteRuntime` — the interpreted
+  reference.  It loads a serialized model and executes it with NumPy
+  kernels that share **no code** with :mod:`repro.nn`, so a train ->
+  export -> deploy round trip cross-validates both implementations
+  (see ``tests/test_deploy.py``).
+- :class:`~repro.deploy.plan.InferencePlan` — the compiled fast path
+  (``runtime.compile()``): Conv+BN+ReLU / Add+ReLU fusion per the rule
+  table shared with :mod:`repro.latency.fusion`, pre-bound kernel
+  closures, and static arena memory planning (see
+  ``tests/test_deploy_plan.py`` and DEVELOPMENT.md).
 """
 
+from repro.deploy.plan import Arena, InferencePlan, compile_plan
 from repro.deploy.runtime import OnnxliteRuntime, load_runtime
 
-__all__ = ["OnnxliteRuntime", "load_runtime"]
+__all__ = ["Arena", "InferencePlan", "OnnxliteRuntime", "compile_plan", "load_runtime"]

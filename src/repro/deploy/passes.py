@@ -1,0 +1,264 @@
+"""Compile-time passes over an onnxlite operator list.
+
+The deploy compiler lowers a :class:`~repro.onnxlite.schema.ModelProto`
+into a list of :class:`PlanNode` records through a fixed pass pipeline:
+
+1. **Fusion** (:func:`fuse_operators`) — greedy follower absorption
+   driven by :data:`repro.latency.fusion.FUSION_RULES`, the *same* rule
+   table the latency predictors use, so every kernel nn-Meter-style
+   prediction prices is exactly one compiled dispatch.  Absorbing a
+   ``BatchNormalization`` constant-folds its affine map into the
+   producing Conv's weights/bias (:func:`fold_batch_norm`); absorbing a
+   ``Relu`` sets an in-kernel activation flag.
+2. **Re-toposort** (:func:`toposort_nodes`) — a stable Kahn pass that
+   re-validates dataflow after rewiring (and catches compiler bugs).
+3. **Shape inference** (:func:`infer_shapes`) — static per-sample shapes
+   for every tensor, from the proto's input shape and operator attrs.
+4. **Liveness** (:func:`compute_liveness`) — last-use analysis producing
+   the static release schedule the arena executes, so intermediate
+   buffers are recycled the moment their final consumer has run.
+
+All passes are pure functions over plain data; :mod:`repro.deploy.plan`
+binds the result to concrete NumPy kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.latency.fusion import FUSION_RULES
+from repro.onnxlite.schema import ModelProto, OperatorProto
+from repro.tensor.conv_ops import conv_output_size, pool_output_size
+
+__all__ = [
+    "PlanNode",
+    "build_plan_nodes",
+    "fold_batch_norm",
+    "fuse_operators",
+    "toposort_nodes",
+    "infer_shapes",
+    "compute_liveness",
+]
+
+_BN_EPS = 1e-5
+
+
+@dataclass
+class PlanNode:
+    """One compiled kernel-to-be: a lead operator plus folded followers."""
+
+    name: str
+    op_type: str
+    inputs: list[str]
+    output: str
+    attrs: dict = field(default_factory=dict)
+    #: Op-type chain of absorbed followers (e.g. ["BatchNormalization", "Relu"]).
+    fused: list[str] = field(default_factory=list)
+    #: Apply ReLU inside the kernel (a fused follower).
+    relu: bool = False
+    #: Folded weights, keyed by role ("weight", "bias", "scale", "shift").
+    weights: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def chain(self) -> tuple[str, ...]:
+        """The full fused op-type chain, lead first."""
+        return (self.op_type, *self.fused)
+
+
+def build_plan_nodes(proto: ModelProto, weights: dict[str, np.ndarray]) -> list[PlanNode]:
+    """Lift the proto's operators into :class:`PlanNode` records.
+
+    ``weights`` maps initializer names to dequantized float32 arrays;
+    each node captures its own parameters so later folds mutate node-local
+    copies, never the runtime's weight table.
+    """
+    nodes: list[PlanNode] = []
+    for op in proto.operators:
+        node = PlanNode(
+            name=op.name,
+            op_type=op.op_type,
+            inputs=list(op.inputs),
+            output=op.outputs[0],
+            attrs=dict(op.attrs),
+        )
+        _attach_weights(node, op, weights)
+        nodes.append(node)
+    return nodes
+
+
+def _attach_weights(node: PlanNode, op: OperatorProto, weights: dict[str, np.ndarray]) -> None:
+    def get(suffix: str, required: bool = True) -> np.ndarray | None:
+        key = f"{op.name}.{suffix}"
+        if key not in weights:
+            if required:
+                raise KeyError(f"initializer {key!r} missing from the model")
+            return None
+        return weights[key]
+
+    if node.op_type in ("Conv", "Gemm"):
+        node.weights["weight"] = get("weight")
+        bias = get("bias", required=False)
+        if bias is not None:
+            node.weights["bias"] = bias
+    elif node.op_type == "BatchNormalization":
+        gamma, beta = get("weight"), get("bias")
+        mean, var = get("running_mean"), get("running_var")
+        scale = (gamma / np.sqrt(var + _BN_EPS)).astype(np.float32)
+        node.weights["scale"] = scale
+        node.weights["shift"] = (beta - mean * scale).astype(np.float32)
+
+
+def fold_batch_norm(conv: PlanNode, bn: PlanNode) -> None:
+    """Constant-fold a BatchNormalization's affine map into its Conv.
+
+    ``y = (W * x + b) * scale + shift`` becomes a single convolution with
+    ``W' = W * scale`` (per output channel) and ``b' = b * scale + shift``
+    — the standard inference-time BN fold every edge runtime performs.
+    """
+    scale, shift = bn.weights["scale"], bn.weights["shift"]
+    weight = conv.weights["weight"]
+    conv.weights["weight"] = (weight * scale[:, None, None, None]).astype(np.float32)
+    bias = conv.weights.get("bias")
+    folded_bias = shift if bias is None else bias * scale + shift
+    conv.weights["bias"] = folded_bias.astype(np.float32)
+
+
+def fuse_operators(nodes: list[PlanNode]) -> list[PlanNode]:
+    """Absorb followers into leads per :data:`FUSION_RULES`.
+
+    Mirrors :func:`repro.latency.fusion.fuse_graph` on the serialized
+    operator list: a follower is absorbed only when it is the *sole*
+    consumer chained off the lead's output and itself single-input, so
+    fan-out tensors (residual skips) stay materialized.  BatchNorm
+    absorption triggers the weight fold; Relu absorption sets the
+    kernel's activation flag.
+    """
+    consumers: dict[str, list[PlanNode]] = {}
+    for node in nodes:
+        for name in node.inputs:
+            consumers.setdefault(name, []).append(node)
+
+    absorbed: set[int] = set()
+    fused: list[PlanNode] = []
+    for lead in nodes:
+        if id(lead) in absorbed:
+            continue
+        remaining = list(FUSION_RULES.get(lead.op_type, ()))
+        while remaining:
+            follower = _chain_follower(consumers, lead.output, remaining[0])
+            if follower is None:
+                remaining.pop(0)  # optional stage absent; try the next type
+                continue
+            if follower.op_type == "BatchNormalization":
+                fold_batch_norm(lead, follower)
+            elif follower.op_type == "Relu":
+                lead.relu = True
+            lead.fused.append(follower.op_type)
+            lead.output = follower.output
+            absorbed.add(id(follower))
+            remaining.pop(0)
+        fused.append(lead)
+    return fused
+
+
+def _chain_follower(
+    consumers: dict[str, list[PlanNode]], tensor: str, op_type: str
+) -> PlanNode | None:
+    cands = consumers.get(tensor, [])
+    if len(cands) != 1:
+        return None
+    follower = cands[0]
+    if follower.op_type != op_type or len(follower.inputs) != 1:
+        return None
+    return follower
+
+
+def toposort_nodes(nodes: list[PlanNode], input_name: str = "input") -> list[PlanNode]:
+    """Stable topological re-sort over tensor dataflow (Kahn's algorithm).
+
+    The exporter already emits a valid order and fusion preserves it;
+    this pass re-validates after rewiring and raises ``ValueError`` on a
+    cycle or a read of a tensor nothing produces.
+    """
+    produced = {input_name}
+    pending = list(nodes)
+    ordered: list[PlanNode] = []
+    known = produced | {n.output for n in pending}
+    for node in pending:
+        for name in node.inputs:
+            if name not in known:
+                raise ValueError(f"kernel {node.name!r} reads unknown tensor {name!r}")
+    while pending:
+        ready = [n for n in pending if all(i in produced for i in n.inputs)]
+        if not ready:
+            stuck = ", ".join(n.name for n in pending)
+            raise ValueError(f"operator list is not schedulable (cycle?): {stuck}")
+        for node in ready:
+            ordered.append(node)
+            produced.add(node.output)
+        pending = [n for n in pending if id(n) not in {id(r) for r in ready}]
+    return ordered
+
+
+def infer_shapes(
+    nodes: list[PlanNode], input_shape: tuple[int, ...], input_name: str = "input"
+) -> dict[str, tuple[int, ...]]:
+    """Static per-sample (batch-free) shapes for every tensor in the plan."""
+    shapes: dict[str, tuple[int, ...]] = {input_name: tuple(int(d) for d in input_shape)}
+    for node in nodes:
+        in_shape = shapes[node.inputs[0]]
+        kind = node.op_type
+        if kind == "Conv":
+            c, h, w = in_shape
+            k = int(node.attrs["kernel"])
+            s = int(node.attrs["stride"])
+            p = int(node.attrs["padding"])
+            out = (
+                int(node.weights["weight"].shape[0]),
+                conv_output_size(h, k, s, p),
+                conv_output_size(w, k, s, p),
+            )
+        elif kind == "MaxPool":
+            c, h, w = in_shape
+            k = int(node.attrs["kernel"])
+            s = int(node.attrs["stride"])
+            out = (c, pool_output_size(h, k, s), pool_output_size(w, k, s))
+        elif kind == "GlobalAveragePool":
+            out = (in_shape[0],)
+        elif kind == "Flatten":
+            out = (int(np.prod(in_shape)),)
+        elif kind == "Gemm":
+            out = (int(node.weights["weight"].shape[0]),)
+        elif kind in ("Relu", "BatchNormalization", "Add"):
+            out = in_shape
+        else:  # pragma: no cover - guarded by runtime op validation
+            raise ValueError(f"cannot infer shape for operator {kind!r}")
+        shapes[node.output] = out
+    return shapes
+
+
+def compute_liveness(
+    nodes: list[PlanNode], input_name: str = "input", final_output: str | None = None
+) -> tuple[list[list[str]], dict[str, int]]:
+    """Static release schedule: which tensors die after each step.
+
+    Returns ``(release, last_use)`` where ``release[i]`` lists the tensor
+    names whose final consumer is step ``i`` (excluding the caller-owned
+    input and the plan's final output, which outlives the run).
+    """
+    if not nodes:
+        return [], {}
+    last_use: dict[str, int] = {}
+    for step, node in enumerate(nodes):
+        for name in node.inputs:
+            last_use[name] = step
+    if final_output is None:
+        final_output = nodes[-1].output
+    release: list[list[str]] = [[] for _ in nodes]
+    for name, step in last_use.items():
+        if name == input_name or name == final_output:
+            continue
+        release[step].append(name)
+    return release, last_use

@@ -1,0 +1,508 @@
+"""Compiled inference plans: arena-allocated, pre-bound fused kernels.
+
+:func:`compile_plan` lowers a :class:`~repro.onnxlite.schema.ModelProto`
+through the pass pipeline of :mod:`repro.deploy.passes` and binds every
+fused operator to a concrete NumPy closure at compile time:
+
+- **no per-call dispatch** — each step is a closure with its weights,
+  geometry, and GEMM matrices captured as locals (BatchNorm already
+  folded into the Conv weights, ReLU applied in-kernel);
+- **static memory planning** — a liveness-derived release schedule
+  recycles intermediate buffers through an :class:`Arena` the moment
+  their last consumer has run, instead of accumulating every activation
+  for the whole forward pass;
+- **workspace reuse** — the im2col column matrix and padded-input
+  scratch come from the same arena, so Conv ops sharing a shape share
+  one allocation across the run *and* across runs.
+
+The interpreted :class:`~repro.deploy.runtime.OnnxliteRuntime` path is
+kept unchanged as the independent reference implementation; equivalence
+between the two (and :mod:`repro.nn`) is enforced by
+``tests/test_deploy_plan.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.deploy.passes import (
+    PlanNode,
+    build_plan_nodes,
+    compute_liveness,
+    fuse_operators,
+    infer_shapes,
+    toposort_nodes,
+)
+from repro.onnxlite.schema import ModelProto
+from repro.tensor.conv_ops import im2col
+
+__all__ = ["Arena", "InferencePlan", "PlanStep", "compile_plan"]
+
+_INPUT = "input"
+
+
+class Arena:
+    """A pooling allocator for intermediate activation buffers.
+
+    Buffers are flat float32 arrays handed out as shaped views; released
+    buffers return to a free pool and are reused by the smallest-fit
+    candidate, so a full forward pass settles into a handful of
+    allocations that persist across runs.
+
+    Parameters
+    ----------
+    poison:
+        Debug mode — released buffers are filled with NaN so any kernel
+        reading a freed tensor corrupts the output and fails the
+        equivalence tests instead of silently reading stale data.
+    """
+
+    def __init__(self, poison: bool = False) -> None:
+        self.poison = poison
+        self._free: list[np.ndarray] = []
+        self._live: dict[int, np.ndarray] = {}
+        self.current_bytes = 0
+        self.peak_bytes = 0
+        self.allocations = 0
+        self.reuses = 0
+
+    def acquire(self, shape: tuple[int, ...]) -> np.ndarray:
+        """A float32 buffer of ``shape`` (pooled when possible)."""
+        size = int(math.prod(shape))
+        best = -1
+        for i, buf in enumerate(self._free):
+            if buf.size >= size and (best < 0 or buf.size < self._free[best].size):
+                best = i
+        if best >= 0:
+            base = self._free.pop(best)
+            self.reuses += 1
+        else:
+            base = np.empty(size, dtype=np.float32)
+            self.allocations += 1
+        view = base[:size].reshape(shape)
+        self._live[id(view)] = base
+        self.current_bytes += base.nbytes
+        self.peak_bytes = max(self.peak_bytes, self.current_bytes)
+        return view
+
+    def release(self, view: np.ndarray) -> None:
+        """Return a buffer obtained from :meth:`acquire` to the pool."""
+        base = self._live.pop(id(view), None)
+        if base is None:
+            raise KeyError("released a buffer the arena does not own (planner bug)")
+        if self.poison:
+            base.fill(np.nan)
+        self.current_bytes -= base.nbytes
+        self._free.append(base)
+
+    @property
+    def live_count(self) -> int:
+        """Number of buffers currently handed out."""
+        return len(self._live)
+
+    @property
+    def pooled_bytes(self) -> int:
+        """Capacity currently parked in the free pool."""
+        return sum(b.nbytes for b in self._free)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Arena(live={self.live_count}, pooled={len(self._free)}, "
+                f"peak_bytes={self.peak_bytes:,}, allocs={self.allocations}, "
+                f"reuses={self.reuses})")
+
+
+@dataclass
+class PlanStep:
+    """One executable step: a pre-bound kernel plus its release schedule."""
+
+    name: str
+    chain: tuple[str, ...]
+    run: Callable[[dict[str, np.ndarray]], np.ndarray]
+    inputs: tuple[str, ...]
+    output: str
+    #: Tensors whose buffers return to the arena after this step.
+    release: list[str] = field(default_factory=list)
+    #: Tensors dropped from the environment without an arena release
+    #: (their buffer was transferred to this step's in-place output).
+    drop: list[str] = field(default_factory=list)
+
+
+# --------------------------------------------------------------------------
+# kernel binding
+# --------------------------------------------------------------------------
+
+
+def _bind_conv(node: PlanNode, in_shape, out_shape, arena: Arena):
+    c_in, h, w = in_shape
+    c_out, oh, ow = out_shape
+    kernel = int(node.attrs["kernel"])
+    stride = int(node.attrs["stride"])
+    padding = int(node.attrs["padding"])
+    w_mat = np.ascontiguousarray(node.weights["weight"].reshape(c_out, -1))
+    bias = node.weights.get("bias")
+    bias_col = None if bias is None else np.ascontiguousarray(bias.reshape(c_out, 1, 1))
+    relu = node.relu
+    in_name = node.inputs[0]
+    cols_rows = c_in * kernel * kernel
+    spatial = oh * ow
+
+    def run(env: dict[str, np.ndarray]) -> np.ndarray:
+        x = env[in_name]
+        n = x.shape[0]
+        if padding:
+            xp = arena.acquire((n, c_in, h + 2 * padding, w + 2 * padding))
+            xp.fill(0.0)
+            xp[:, :, padding : padding + h, padding : padding + w] = x
+        else:
+            xp = x
+        cols = arena.acquire((n, cols_rows, spatial))
+        im2col(xp, kernel, stride, out=cols)
+        if padding:
+            arena.release(xp)
+        out = arena.acquire((n, c_out, oh, ow))
+        np.matmul(w_mat, cols, out=out.reshape(n, c_out, spatial))
+        arena.release(cols)
+        if bias_col is not None:
+            out += bias_col
+        if relu:
+            np.maximum(out, 0.0, out=out)
+        return out
+
+    return run
+
+
+def _bind_gemm(node: PlanNode, out_shape, arena: Arena):
+    weight_t = np.ascontiguousarray(node.weights["weight"].T)  # (in, out)
+    bias = node.weights.get("bias")
+    relu = node.relu
+    in_name = node.inputs[0]
+    out_features = out_shape[0]
+
+    def run(env: dict[str, np.ndarray]) -> np.ndarray:
+        x = env[in_name]
+        out = arena.acquire((x.shape[0], out_features))
+        np.matmul(x, weight_t, out=out)
+        if bias is not None:
+            out += bias
+        if relu:
+            np.maximum(out, 0.0, out=out)
+        return out
+
+    return run
+
+
+def _bind_batch_norm(node: PlanNode, arena: Arena, inplace: bool):
+    scale = node.weights["scale"].reshape(-1, 1, 1)
+    shift = node.weights["shift"].reshape(-1, 1, 1)
+    relu = node.relu
+    in_name = node.inputs[0]
+
+    def run(env: dict[str, np.ndarray]) -> np.ndarray:
+        x = env[in_name]
+        out = x if inplace else arena.acquire(x.shape)
+        np.multiply(x, scale, out=out)
+        out += shift
+        if relu:
+            np.maximum(out, 0.0, out=out)
+        return out
+
+    return run
+
+
+def _bind_relu(node: PlanNode, arena: Arena, inplace: bool):
+    in_name = node.inputs[0]
+
+    def run(env: dict[str, np.ndarray]) -> np.ndarray:
+        x = env[in_name]
+        out = x if inplace else arena.acquire(x.shape)
+        np.maximum(x, 0.0, out=out)
+        return out
+
+    return run
+
+
+def _bind_add(node: PlanNode, arena: Arena, inplace_name: str | None):
+    a_name, b_name = node.inputs
+    relu = node.relu
+
+    def run(env: dict[str, np.ndarray]) -> np.ndarray:
+        a, b = env[a_name], env[b_name]
+        out = env[inplace_name] if inplace_name is not None else arena.acquire(a.shape)
+        np.add(a, b, out=out)
+        if relu:
+            np.maximum(out, 0.0, out=out)
+        return out
+
+    return run
+
+
+def _bind_max_pool(node: PlanNode, out_shape, arena: Arena):
+    kernel = int(node.attrs["kernel"])
+    stride = int(node.attrs["stride"])
+    average = bool(node.attrs.get("average"))
+    c, oh, ow = out_shape
+    in_name = node.inputs[0]
+
+    def run(env: dict[str, np.ndarray]) -> np.ndarray:
+        x = env[in_name]
+        windows = sliding_window_view(x, (kernel, kernel), axis=(2, 3))[:, :, ::stride, ::stride]
+        out = arena.acquire((x.shape[0], c, oh, ow))
+        if average:
+            np.mean(windows, axis=(-2, -1), dtype=np.float32, out=out)
+        else:
+            np.max(windows, axis=(-2, -1), out=out)
+        return out
+
+    return run
+
+
+def _bind_global_avg_pool(node: PlanNode, out_shape, arena: Arena):
+    in_name = node.inputs[0]
+    channels = out_shape[0]
+
+    def run(env: dict[str, np.ndarray]) -> np.ndarray:
+        x = env[in_name]
+        out = arena.acquire((x.shape[0], channels))
+        np.mean(x, axis=(2, 3), dtype=np.float32, out=out)
+        return out
+
+    return run
+
+
+def _bind_flatten(node: PlanNode, out_shape, arena: Arena):
+    in_name = node.inputs[0]
+    flat = out_shape[0]
+
+    def run(env: dict[str, np.ndarray]) -> np.ndarray:
+        x = env[in_name]
+        out = arena.acquire((x.shape[0], flat))
+        np.copyto(out, x.reshape(x.shape[0], flat))
+        return out
+
+    return run
+
+
+def _bind_step(
+    node: PlanNode,
+    step: int,
+    shapes: dict[str, tuple[int, ...]],
+    release: list[list[str]],
+    arena: Arena,
+) -> PlanStep:
+    """Resolve one fused node to a concrete closure + release schedule."""
+    in_shape = shapes[node.inputs[0]]
+    out_shape = shapes[node.output]
+    kind = node.op_type
+    drop: list[str] = []
+
+    def claim_inplace() -> str | None:
+        """Steal a dying, arena-owned input buffer for the output."""
+        for name in node.inputs:
+            if name != _INPUT and name in release[step] and shapes[name] == out_shape:
+                release[step].remove(name)
+                drop.append(name)
+                return name
+        return None
+
+    if kind == "Conv":
+        run = _bind_conv(node, in_shape, out_shape, arena)
+    elif kind == "Gemm":
+        run = _bind_gemm(node, out_shape, arena)
+    elif kind == "BatchNormalization":
+        run = _bind_batch_norm(node, arena, inplace=claim_inplace() is not None)
+    elif kind == "Relu":
+        run = _bind_relu(node, arena, inplace=claim_inplace() is not None)
+    elif kind == "Add":
+        run = _bind_add(node, arena, inplace_name=claim_inplace())
+    elif kind == "MaxPool":
+        run = _bind_max_pool(node, out_shape, arena)
+    elif kind == "GlobalAveragePool":
+        run = _bind_global_avg_pool(node, out_shape, arena)
+    elif kind == "Flatten":
+        run = _bind_flatten(node, out_shape, arena)
+    else:  # pragma: no cover - guarded by runtime op validation
+        raise ValueError(f"cannot bind kernel for operator {kind!r}")
+
+    return PlanStep(
+        name=node.name,
+        chain=node.chain,
+        run=run,
+        inputs=tuple(node.inputs),
+        output=node.output,
+        release=release[step],
+        drop=drop,
+    )
+
+
+# --------------------------------------------------------------------------
+# the plan
+# --------------------------------------------------------------------------
+
+
+class InferencePlan:
+    """A compiled model: fused, pre-bound kernels over an arena.
+
+    Built by :func:`compile_plan` (or
+    :meth:`repro.deploy.runtime.OnnxliteRuntime.compile`); run with
+    :meth:`run`.  The plan is specialized to the model's compile-time
+    spatial input shape — only the batch dimension is dynamic.  The
+    arena persists across calls, so steady-state inference performs no
+    large allocations at all.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        input_shape: tuple[int, ...],
+        steps: list[PlanStep],
+        arena: Arena,
+        shapes: dict[str, tuple[int, ...]],
+        final_output: str,
+        naive_tensor_shapes: list[tuple[int, ...]],
+    ) -> None:
+        self.name = name
+        self.input_shape = tuple(int(d) for d in input_shape)
+        self.steps = steps
+        self.arena = arena
+        self.shapes = shapes
+        self.final_output = final_output
+        self._naive_tensor_shapes = naive_tensor_shapes
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """Run inference on a batch of the compiled input shape."""
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim != 4 or tuple(x.shape[1:]) != self.input_shape:
+            raise ValueError(
+                f"plan compiled for input (N, {', '.join(map(str, self.input_shape))}); "
+                f"got shape {tuple(x.shape)} — use the interpreted runtime for "
+                f"other spatial sizes"
+            )
+        env: dict[str, np.ndarray] = {_INPUT: x}
+        arena = self.arena
+        for step in self.steps:
+            env[step.output] = step.run(env)
+            for name in step.release:
+                arena.release(env.pop(name))
+            for name in step.drop:
+                env.pop(name)
+        result = env.pop(self.final_output)
+        out = result.copy()
+        arena.release(result)
+        return out
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class predictions (argmax of the logits)."""
+        return self.run(x).argmax(axis=1)
+
+    # -- introspection --------------------------------------------------------------
+
+    @property
+    def num_kernels(self) -> int:
+        """Number of compiled dispatches per forward pass."""
+        return len(self.steps)
+
+    def kernel_chains(self) -> list[tuple[str, ...]]:
+        """The fused op-type chain of every step, in execution order."""
+        return [step.chain for step in self.steps]
+
+    def planned_peak_bytes(self, batch: int = 1) -> int:
+        """Static peak of live intermediate bytes under the release plan."""
+        live: dict[str, int] = {}
+        peak = 0
+        for step in self.steps:
+            live[step.output] = 4 * batch * int(math.prod(self.shapes[step.output]))
+            peak = max(peak, sum(live.values()))
+            for name in (*step.release, *step.drop):
+                live.pop(name, None)
+        return peak
+
+    def naive_env_bytes(self, batch: int = 1) -> int:
+        """Bytes the interpreted runtime keeps live (every activation)."""
+        return sum(4 * batch * int(math.prod(s)) for s in self._naive_tensor_shapes)
+
+    def memory_stats(self) -> dict[str, int]:
+        """Arena counters (measured over all runs so far)."""
+        return {
+            "peak_bytes": self.arena.peak_bytes,
+            "current_bytes": self.arena.current_bytes,
+            "pooled_bytes": self.arena.pooled_bytes,
+            "allocations": self.arena.allocations,
+            "reuses": self.arena.reuses,
+        }
+
+    def describe(self) -> str:
+        """Human-readable step table (kernel chain, shapes, releases)."""
+        lines = [f"InferencePlan {self.name!r}: {self.num_kernels} kernels, "
+                 f"input (N, {', '.join(map(str, self.input_shape))})"]
+        for step in self.steps:
+            chain = "+".join(step.chain)
+            out_shape = "x".join(map(str, self.shapes[step.output]))
+            freed = f"  frees {sorted(step.release)}" if step.release else ""
+            inplace = f"  in-place on {step.drop[0]!r}" if step.drop else ""
+            lines.append(f"  {step.name:32s} {chain:34s} -> {out_shape}{freed}{inplace}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"InferencePlan(model={self.name!r}, kernels={self.num_kernels}, "
+                f"input_shape={self.input_shape})")
+
+
+def compile_plan(
+    proto: ModelProto,
+    weights: dict[str, np.ndarray] | None = None,
+    *,
+    poison: bool = False,
+) -> InferencePlan:
+    """Compile a model proto into an :class:`InferencePlan`.
+
+    Parameters
+    ----------
+    proto:
+        The deserialized model (quantized payloads are dequantized here
+        unless ``weights`` is supplied).
+    weights:
+        Optional pre-dequantized initializer table (name -> float32
+        array); :class:`~repro.deploy.runtime.OnnxliteRuntime` passes its
+        own so the two paths share one load step.
+    poison:
+        Debug mode: fill released arena buffers with NaN to surface any
+        read-after-free in the release schedule (see :class:`Arena`).
+    """
+    if not proto.operators:
+        raise ValueError("model has no operators")
+    if weights is None:
+        weights = {t.name: t.dequantized() for t in proto.initializers}
+    final_output = proto.operators[-1].outputs[0]
+    nodes = build_plan_nodes(proto, weights)
+
+    # Static naive footprint (pre-fusion): one live tensor per operator.
+    naive_shapes = list(
+        infer_shapes(toposort_nodes(nodes), proto.input_shape).values()
+    )
+
+    nodes = fuse_operators(nodes)
+    nodes = toposort_nodes(nodes)
+    shapes = infer_shapes(nodes, proto.input_shape)
+    release, _ = compute_liveness(nodes, final_output=final_output)
+
+    arena = Arena(poison=poison)
+    steps = [
+        _bind_step(node, i, shapes, release, arena)
+        for i, node in enumerate(nodes)
+    ]
+    return InferencePlan(
+        name=proto.name,
+        input_shape=proto.input_shape,
+        steps=steps,
+        arena=arena,
+        shapes=shapes,
+        final_output=final_output,
+        naive_tensor_shapes=naive_shapes,
+    )

@@ -1,11 +1,18 @@
 """Execute onnxlite model graphs with standalone NumPy kernels.
 
-The runtime walks the serialized operator list (already topologically
-ordered by the exporter), keeping a tensor environment keyed by operator
-output names.  Kernels are deliberately written independently of
-:mod:`repro.tensor` — different im2col layout, different batch-norm
-formulation — so agreement with the training stack is a meaningful check
-rather than a tautology.
+The interpreted runtime walks the serialized operator list (already
+topologically ordered by the exporter), keeping a tensor environment
+keyed by operator output names.  Kernels are deliberately written
+independently of :mod:`repro.tensor` — different im2col layout, different
+batch-norm formulation — so agreement with the training stack is a
+meaningful check rather than a tautology.
+
+:meth:`OnnxliteRuntime.compile` produces an
+:class:`~repro.deploy.plan.InferencePlan` — the fast path with BatchNorm
+folded into Conv weights, ReLU fused in-kernel, pre-bound closures
+instead of string dispatch, and arena-recycled intermediate buffers.
+The interpreter below stays as the slow, independent reference both the
+plan and :mod:`repro.nn` are validated against.
 
 Supported operators: Conv, BatchNormalization, Relu, MaxPool,
 GlobalAveragePool, Flatten, Gemm, Add (the full vocabulary the exporter
@@ -15,6 +22,7 @@ emits for the paper's model family).
 from __future__ import annotations
 
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
@@ -22,9 +30,17 @@ from numpy.lib.stride_tricks import sliding_window_view
 from repro.onnxlite.reader import load_model, proto_from_bytes
 from repro.onnxlite.schema import ModelProto, OperatorProto
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.deploy.plan import InferencePlan
+
 __all__ = ["OnnxliteRuntime", "load_runtime"]
 
 _BN_EPS = 1e-5
+
+
+def _as_f32(x: np.ndarray) -> np.ndarray:
+    """Cast to float32 only when needed (skip the no-op copy)."""
+    return x if x.dtype == np.float32 else x.astype(np.float32)
 
 
 def _conv2d(x: np.ndarray, weight: np.ndarray, attrs: dict) -> np.ndarray:
@@ -39,14 +55,14 @@ def _conv2d(x: np.ndarray, weight: np.ndarray, attrs: dict) -> np.ndarray:
     # Tensor-dot formulation (different from repro.tensor's GEMM reshape):
     # (N, C, oh, ow, k, k) x (F, C, k, k) over (C, k, k).
     out = np.tensordot(windows, weight, axes=([1, 4, 5], [1, 2, 3]))  # (N, oh, ow, F)
-    return np.ascontiguousarray(out.transpose(0, 3, 1, 2)).astype(np.float32)
+    return _as_f32(np.ascontiguousarray(out.transpose(0, 3, 1, 2)))
 
 
 def _batch_norm(x: np.ndarray, gamma, beta, mean, var) -> np.ndarray:
     # Inference form, folded into one affine map per channel.
     scale = gamma / np.sqrt(var + _BN_EPS)
     shift = beta - mean * scale
-    return (x * scale[None, :, None, None] + shift[None, :, None, None]).astype(np.float32)
+    return _as_f32(x * scale[None, :, None, None] + shift[None, :, None, None])
 
 
 def _max_pool(x: np.ndarray, attrs: dict) -> np.ndarray:
@@ -54,7 +70,7 @@ def _max_pool(x: np.ndarray, attrs: dict) -> np.ndarray:
     stride = int(attrs["stride"])
     windows = sliding_window_view(x, (kernel, kernel), axis=(2, 3))[:, :, ::stride, ::stride]
     reducer = np.mean if attrs.get("average") else np.max
-    return np.ascontiguousarray(reducer(windows, axis=(-2, -1))).astype(np.float32)
+    return _as_f32(np.ascontiguousarray(reducer(windows, axis=(-2, -1))))
 
 
 class OnnxliteRuntime:
@@ -71,6 +87,10 @@ class OnnxliteRuntime:
         # Quantized payloads are dequantized once at load time (the
         # runtime computes in fp32, like OpenVINO's CPU fallback path).
         self._weights = {t.name: t.dequantized() for t in proto.initializers}
+        #: Live-environment footprint of the most recent :meth:`run`
+        #: (every intermediate stays alive — the figure the compiled
+        #: plan's arena is measured against).
+        self.last_env_bytes = 0
         self._validate_ops()
 
     def _validate_ops(self) -> None:
@@ -88,6 +108,28 @@ class OnnxliteRuntime:
             raise KeyError(f"initializer {key!r} missing from the model")
         return self._weights[key]
 
+    # -- compilation ----------------------------------------------------------
+
+    def compile(self, poison: bool = False) -> "InferencePlan":
+        """Compile the model into an :class:`~repro.deploy.plan.InferencePlan`.
+
+        The plan fuses Conv+BN+ReLU / Add+ReLU chains (the exact kernel
+        grouping :mod:`repro.latency.fusion` predicts), binds each fused
+        kernel to a concrete closure, and executes over a static
+        release schedule with arena-pooled buffers.  Compile once, then
+        call ``plan.run(x)`` for repeated inference at the exported
+        spatial input size.
+
+        Parameters
+        ----------
+        poison:
+            Debug mode — poison released arena buffers with NaN so a
+            read-after-free in the plan corrupts outputs loudly.
+        """
+        from repro.deploy.plan import compile_plan
+
+        return compile_plan(self.proto, self._weights, poison=poison)
+
     # -- execution ---------------------------------------------------------------
 
     def _execute(self, op: OperatorProto, inputs: list[np.ndarray]) -> np.ndarray:
@@ -96,7 +138,8 @@ class OnnxliteRuntime:
             out = _conv2d(inputs[0], self._param(op.name, "weight"), op.attrs)
             bias_key = f"{op.name}.bias"
             if bias_key in self._weights:
-                out = out + self._weights[bias_key][None, :, None, None]
+                # In-place broadcast add: _conv2d returned a fresh buffer.
+                out += self._weights[bias_key][None, :, None, None]
             return out
         if kind == "BatchNormalization":
             return _batch_norm(
@@ -116,13 +159,13 @@ class OnnxliteRuntime:
             return inputs[0].reshape(inputs[0].shape[0], -1)
         if kind == "Gemm":
             weight = self._param(op.name, "weight")  # (out, in)
-            out = inputs[0] @ weight.T
+            out = _as_f32(inputs[0] @ weight.T)
             bias_key = f"{op.name}.bias"
             if bias_key in self._weights:
-                out = out + self._weights[bias_key]
-            return out.astype(np.float32)
+                out += self._weights[bias_key]
+            return out
         if kind == "Add":
-            return (inputs[0] + inputs[1]).astype(np.float32)
+            return _as_f32(inputs[0] + inputs[1])
         raise AssertionError(f"unreachable operator {kind}")  # pragma: no cover
 
     def run(self, x: np.ndarray) -> np.ndarray:
@@ -152,6 +195,7 @@ class OnnxliteRuntime:
             env[op.outputs[0]] = result
         if result is None:
             raise ValueError("model has no operators")
+        self.last_env_bytes = sum(v.nbytes for v in env.values())
         return result
 
     def predict(self, x: np.ndarray) -> np.ndarray:

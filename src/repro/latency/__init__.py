@@ -20,7 +20,7 @@ architecture:
 """
 
 from repro.latency.kernels import Kernel, extract_kernels
-from repro.latency.fusion import fuse_graph, FusedOp
+from repro.latency.fusion import FUSION_RULES, fuse_graph, FusedOp, fusion_rule
 from repro.latency.devices import DeviceProfile, DEVICE_PROFILES
 from repro.latency.predictors import LatencyPredictor, predict_all_devices, LatencySummary
 from repro.latency.registry import get_predictor, list_predictors, PREDICTOR_METADATA
@@ -37,6 +37,8 @@ __all__ = [
     "extract_kernels",
     "fuse_graph",
     "FusedOp",
+    "FUSION_RULES",
+    "fusion_rule",
     "DeviceProfile",
     "DEVICE_PROFILES",
     "LatencyPredictor",

@@ -19,11 +19,41 @@ from dataclasses import dataclass, field
 
 from repro.graph.ir import Graph, Node, OpType
 
-__all__ = ["FusedOp", "fuse_graph"]
+__all__ = ["FUSION_RULES", "FusedOp", "fuse_graph", "fusion_rule"]
 
-# Fusable follower sets, in chain order.
-_CONV_FOLLOWERS = (OpType.BATCH_NORM, OpType.RELU)
-_ADD_FOLLOWERS = (OpType.RELU,)
+#: Canonical fusion rule table, keyed by the onnxlite operator-type
+#: strings the exporter emits.  Both the latency predictors (this module)
+#: and the deploy compiler (:mod:`repro.deploy.passes`) consume this
+#: table, so the kernels nn-Meter-style prediction assumes are exactly
+#: the kernels the compiled runtime executes.
+FUSION_RULES: dict[str, tuple[str, ...]] = {
+    "Conv": ("BatchNormalization", "Relu"),
+    "Add": ("Relu",),
+}
+
+#: IR op type <-> onnxlite operator-type string (the fusable subset).
+_IR_TO_ONNX = {
+    OpType.CONV: "Conv",
+    OpType.BATCH_NORM: "BatchNormalization",
+    OpType.RELU: "Relu",
+    OpType.ADD: "Add",
+}
+_ONNX_TO_IR = {name: op for op, name in _IR_TO_ONNX.items()}
+
+
+def fusion_rule(op: OpType | str) -> tuple[OpType, ...]:
+    """Fusable follower chain for a lead operator (empty if none).
+
+    Accepts either an IR :class:`OpType` or an onnxlite operator-type
+    string; returns the follower chain as IR op types, in chain order.
+    """
+    key = _IR_TO_ONNX.get(op, op) if isinstance(op, OpType) else op
+    return tuple(_ONNX_TO_IR[name] for name in FUSION_RULES.get(key, ()))
+
+
+# Fusable follower sets, in chain order (derived from FUSION_RULES).
+_CONV_FOLLOWERS = fusion_rule(OpType.CONV)
+_ADD_FOLLOWERS = fusion_rule(OpType.ADD)
 
 
 @dataclass

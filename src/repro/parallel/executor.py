@@ -49,11 +49,16 @@ class ProcessPoolExecutorBackend(Executor):
     returned in input order regardless of completion order.
     """
 
-    def __init__(self, workers: int | None = None, chunksize: int = 1) -> None:
+    def __init__(self, workers: int | None = None, chunksize: int | None = 1) -> None:
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if chunksize is not None and chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
         self.workers = workers or max(os.cpu_count() or 1, 1)
-        self.chunksize = max(chunksize, 1)
+        #: ``None`` selects an automatic chunk size per :meth:`map` call:
+        #: ``max(1, len(items) // (4 * workers))`` — ~4 chunks per worker,
+        #: amortizing IPC for cheap trials while keeping load balance.
+        self.chunksize = chunksize
         self._pool: concurrent.futures.ProcessPoolExecutor | None = None
 
     def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
@@ -61,9 +66,14 @@ class ProcessPoolExecutorBackend(Executor):
             self._pool = concurrent.futures.ProcessPoolExecutor(max_workers=self.workers)
         return self._pool
 
+    def _effective_chunksize(self, n_items: int) -> int:
+        if self.chunksize is not None:
+            return self.chunksize
+        return max(1, n_items // (4 * self.workers))
+
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
         pool = self._ensure_pool()
-        return list(pool.map(fn, items, chunksize=self.chunksize))
+        return list(pool.map(fn, items, chunksize=self._effective_chunksize(len(items))))
 
     def close(self) -> None:
         if self._pool is not None:
@@ -71,10 +81,26 @@ class ProcessPoolExecutorBackend(Executor):
             self._pool = None
 
 
-def make_executor(kind: str = "serial", workers: int | None = None) -> Executor:
-    """Factory: ``"serial"`` or ``"process"``."""
+def make_executor(
+    kind: str = "serial", workers: int | None = None, chunksize: int | None = None
+) -> Executor:
+    """Factory: ``"serial"`` or ``"process"``.
+
+    Parameters
+    ----------
+    kind:
+        Backend name.
+    workers:
+        Process count for the ``"process"`` backend (default: CPU count).
+    chunksize:
+        Tasks shipped per IPC round trip for the ``"process"`` backend.
+        ``None`` (the default) picks ``max(1, len(items) // (4 * workers))``
+        per map call — ~4 chunks per worker, amortizing pickling overhead
+        for cheap trials; pass ``1`` for maximal load balancing of
+        expensive tasks.  Ignored by the serial backend.
+    """
     if kind == "serial":
         return SerialExecutor()
     if kind == "process":
-        return ProcessPoolExecutorBackend(workers=workers)
+        return ProcessPoolExecutorBackend(workers=workers, chunksize=chunksize)
     raise ValueError(f"unknown executor kind {kind!r}; use 'serial' or 'process'")

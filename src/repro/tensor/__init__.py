@@ -23,7 +23,15 @@ from repro.tensor.functional import (
     softmax,
     tanh,
 )
-from repro.tensor.conv_ops import avg_pool2d, conv2d, global_avg_pool2d, max_pool2d, pool_output_size
+from repro.tensor.conv_ops import (
+    avg_pool2d,
+    conv2d,
+    global_avg_pool2d,
+    im2col,
+    im2col_shape,
+    max_pool2d,
+    pool_output_size,
+)
 from repro.tensor.grad_check import check_gradients, numerical_gradient
 
 __all__ = [
@@ -38,6 +46,8 @@ __all__ = [
     "cross_entropy_logits",
     "batch_norm_2d",
     "conv2d",
+    "im2col",
+    "im2col_shape",
     "max_pool2d",
     "avg_pool2d",
     "global_avg_pool2d",

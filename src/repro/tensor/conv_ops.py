@@ -19,6 +19,8 @@ __all__ = [
     "conv_output_size",
     "pool_output_size",
     "conv2d",
+    "im2col",
+    "im2col_shape",
     "max_pool2d",
     "avg_pool2d",
     "global_avg_pool2d",
@@ -54,6 +56,52 @@ def _windows(data: np.ndarray, kernel: int, stride: int) -> np.ndarray:
     """
     view = sliding_window_view(data, (kernel, kernel), axis=(2, 3))
     return view[:, :, ::stride, ::stride]
+
+
+def im2col_shape(x_shape: tuple[int, ...], kernel: int, stride: int) -> tuple[int, int, int]:
+    """Shape of the im2col matrix for an (already padded) input shape.
+
+    Returns ``(N, C*k*k, out_h*out_w)`` — the GEMM-ready layout produced
+    by :func:`im2col`.
+    """
+    n, c, h, w = x_shape
+    out_h = pool_output_size(h, kernel, stride)
+    out_w = pool_output_size(w, kernel, stride)
+    return (n, c * kernel * kernel, out_h * out_w)
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int, out: np.ndarray | None = None) -> np.ndarray:
+    """Materialize receptive fields of a padded ``(N, C, H, W)`` array.
+
+    Produces the ``(N, C*k*k, out_h*out_w)`` column matrix so a
+    convolution reduces to one batched GEMM: ``W(c_out, C*k*k) @ cols``
+    yields the NCHW output directly, with no transpose pass afterwards.
+
+    Parameters
+    ----------
+    x:
+        Input array, **already padded** (apply padding before calling).
+    kernel, stride:
+        Square kernel size and uniform spatial stride.
+    out:
+        Optional preallocated workspace of exactly :func:`im2col_shape`.
+        Passing a reused buffer is the deploy compiler's workspace hook —
+        Conv ops sharing a column shape share one allocation instead of
+        materializing a fresh im2col matrix per call.
+    """
+    n, c, h, w = x.shape
+    out_h = pool_output_size(h, kernel, stride)
+    out_w = pool_output_size(w, kernel, stride)
+    shape = (n, c * kernel * kernel, out_h * out_w)
+    if out is None:
+        out = np.empty(shape, dtype=np.float32)
+    elif out.shape != shape:
+        raise ValueError(f"im2col workspace has shape {out.shape}, expected {shape}")
+    # (N, C, oh, ow, k, k) view -> copy into (N, C, k, k, oh, ow) layout.
+    windows = _windows(x, kernel, stride)
+    dst = out.reshape(n, c, kernel, kernel, out_h, out_w)
+    np.copyto(dst, windows.transpose(0, 1, 4, 5, 2, 3))
+    return out
 
 
 def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, padding: int = 0) -> Tensor:

@@ -39,12 +39,31 @@ class TestProcessPool:
     def test_validation(self):
         with pytest.raises(ValueError):
             ProcessPoolExecutorBackend(workers=0)
+        with pytest.raises(ValueError):
+            ProcessPoolExecutorBackend(workers=1, chunksize=0)
 
     def test_factory(self):
         assert isinstance(make_executor("serial"), SerialExecutor)
         assert isinstance(make_executor("process", workers=1), ProcessPoolExecutorBackend)
         with pytest.raises(ValueError):
             make_executor("gpu")
+
+    def test_factory_forwards_chunksize(self):
+        pool = make_executor("process", workers=2, chunksize=8)
+        assert isinstance(pool, ProcessPoolExecutorBackend)
+        assert pool.chunksize == 8
+        assert pool._effective_chunksize(100) == 8
+
+    def test_auto_chunksize(self):
+        pool = ProcessPoolExecutorBackend(workers=4, chunksize=None)
+        # max(1, n // (4 * workers)): ~4 chunks per worker.
+        assert pool._effective_chunksize(160) == 10
+        assert pool._effective_chunksize(3) == 1
+        assert pool._effective_chunksize(0) == 1
+
+    def test_auto_chunksize_maps_correctly(self):
+        with make_executor("process", workers=2) as pool:
+            assert pool.map(_square, list(range(40))) == [x * x for x in range(40)]
 
 
 class TestChunking:
