@@ -10,7 +10,9 @@ the result (orderings, ratios) with documented tolerances, never exact
 wall-clock values.
 """
 
+import contextlib
 import time
+from dataclasses import replace
 
 import numpy as np
 import pytest
@@ -18,10 +20,15 @@ import pytest
 from repro.deploy import load_runtime
 from repro.graph.trace import trace_model
 from repro.latency.predictors import predict_all_devices
-from repro.nn.resnet import SearchableResNet18
+from repro.nas.config import ModelConfig
+from repro.nas.crossval import TrainSettings, cross_validate_model
+from repro.nas.evaluators import TrainingEvaluator
+from repro.nn.resnet import SearchableResNet18, build_model
 from repro.onnxlite.export import export_model
 from repro.pareto.dominance import non_dominated_mask, non_dominated_mask_kung
-from repro.tensor import Tensor, conv2d
+from repro.profiling import profile_training_step
+from repro.tensor import Tensor, WorkspacePool, conv2d, use_workspaces
+from repro.tensor import conv_ops
 from repro.tensor.tensor import no_grad
 
 
@@ -177,6 +184,356 @@ class TestParetoPerformance:
     def test_kung_front(self, benchmark, cloud):
         mask = benchmark(non_dominated_mask_kung, cloud)
         assert mask.any()
+
+
+def _legacy_conv2d(x, weight, bias, stride=1, padding=0):
+    """The pre-PR conv2d, verbatim: allocation-per-call position-major GEMM.
+
+    Kept inline as the benchmark baseline so the training-substrate
+    speedup is measured against the exact code path the repo shipped
+    before the workspace/hybrid-GEMM work (no pooled buffers, extra
+    ``ascontiguousarray`` passes, a backward closure even in eval mode,
+    and ``np.zeros`` scatter targets every backward call).
+    """
+    n, c_in, h, w = x.shape
+    c_out, _, kernel, _ = weight.shape
+    out_h = conv_ops.conv_output_size(h, kernel, stride, padding)
+    out_w = conv_ops.conv_output_size(w, kernel, stride, padding)
+    xp = np.pad(x.data, ((0, 0), (0, 0), (padding, padding), (padding, padding))) if padding else x.data
+    cols = (
+        conv_ops._windows(xp, kernel, stride)
+        .transpose(0, 2, 3, 1, 4, 5)
+        .reshape(n * out_h * out_w, c_in * kernel * kernel)
+    )
+    cols = np.ascontiguousarray(cols)
+    w_mat = weight.data.reshape(c_out, -1).T
+    out_mat = cols @ w_mat
+    if bias is not None:
+        out_mat += bias.data
+    out_data = np.ascontiguousarray(out_mat.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2))
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad):
+        grad_mat = grad.transpose(0, 2, 3, 1).reshape(n * out_h * out_w, c_out)
+        if bias is not None:
+            bias._accumulate(grad_mat.sum(axis=0))
+        if weight.requires_grad:
+            weight._accumulate((cols.T @ grad_mat).T.reshape(weight.shape))
+        if x.requires_grad:
+            gc = (grad_mat @ w_mat.T).reshape(n, out_h, out_w, c_in, kernel, kernel)
+            gc = gc.transpose(0, 3, 1, 2, 4, 5)
+            ph, pw = h + 2 * padding, w + 2 * padding
+            gxp = np.zeros((n, c_in, ph, pw), dtype=np.float32)
+            for i in range(kernel):
+                for j in range(kernel):
+                    gxp[:, :, i : i + stride * out_h : stride, j : j + stride * out_w : stride] += gc[
+                        :, :, :, :, i, j
+                    ]
+            if padding:
+                gxp = gxp[:, :, padding:-padding, padding:-padding]
+            x._accumulate(gxp)
+
+    return Tensor._make(out_data, parents, backward, "conv2d")
+
+
+def _legacy_batch_norm_2d(x, gamma, beta, running_mean, running_var, training,
+                          momentum=0.1, eps=1e-5):
+    """The pre-PR batch norm, verbatim: four full-tensor temporaries in the
+    forward, five more in the training backward, closure always captured."""
+    n, c, h, w = x.shape
+    axes = (0, 2, 3)
+    count = n * h * w
+    if training:
+        mean = x.data.mean(axis=axes, dtype=np.float32)
+        var = x.data.var(axis=axes, dtype=np.float32)
+        unbiased = var * (count / max(count - 1, 1))
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean
+        running_var *= 1.0 - momentum
+        running_var += momentum * unbiased
+    else:
+        mean = running_mean.astype(np.float32)
+        var = running_var.astype(np.float32)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x.data - mean[None, :, None, None]) * inv_std[None, :, None, None]
+    out_data = x_hat * gamma.data[None, :, None, None] + beta.data[None, :, None, None]
+
+    def backward(grad):
+        g = gamma.data[None, :, None, None]
+        gamma._accumulate((grad * x_hat).sum(axis=axes))
+        beta._accumulate(grad.sum(axis=axes))
+        if not x.requires_grad:
+            return
+        if training:
+            dxhat = grad * g
+            term2 = dxhat.mean(axis=axes, keepdims=True)
+            term3 = x_hat * (dxhat * x_hat).mean(axis=axes, keepdims=True)
+            x._accumulate((dxhat - term2 - term3) * inv_std[None, :, None, None])
+        else:
+            x._accumulate(grad * g * inv_std[None, :, None, None])
+
+    return Tensor._make(out_data, (x, gamma, beta), backward, "batch_norm_2d")
+
+
+def _legacy_relu(self):
+    """The pre-PR relu, verbatim: fresh mask + copying accumulate."""
+    out_data = np.maximum(self.data, 0.0)
+
+    def backward(grad):
+        self._accumulate(grad * (self.data > 0))
+
+    return Tensor._make(out_data, (self,), backward, "relu")
+
+
+def _legacy_matmul(self, other):
+    """The pre-PR matmul, verbatim: copying accumulates for both operands."""
+    other = other if isinstance(other, Tensor) else Tensor(other)
+    if self.ndim != 2 or other.ndim != 2:
+        raise ValueError(f"matmul expects 2-D operands, got {self.shape} @ {other.shape}")
+    out_data = self.data @ other.data
+
+    def backward(grad):
+        self._accumulate(grad @ other.data.T)
+        other._accumulate(self.data.T @ grad)
+
+    return Tensor._make(out_data, (self, other), backward, "matmul")
+
+
+def _legacy_max_pool2d(x, kernel, stride):
+    """The pre-PR max pool, verbatim: np.zeros scatter + copying accumulate."""
+    n, c, h, w = x.shape
+    out_h = conv_ops.pool_output_size(h, kernel, stride)
+    out_w = conv_ops.pool_output_size(w, kernel, stride)
+    windows = conv_ops._windows(x.data, kernel, stride)
+    flat = windows.reshape(n, c, out_h, out_w, kernel * kernel)
+    arg = flat.argmax(axis=-1)
+    out_data = np.ascontiguousarray(np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0])
+
+    def backward(grad):
+        grad_x = np.zeros((n, c, h, w), dtype=np.float32)
+        ki, kj = np.divmod(arg, kernel)
+        oi, oj = np.meshgrid(np.arange(out_h), np.arange(out_w), indexing="ij")
+        rows = oi[None, None] * stride + ki
+        cols_ = oj[None, None] * stride + kj
+        nn, cc = np.meshgrid(np.arange(n), np.arange(c), indexing="ij")
+        np.add.at(grad_x, (nn[..., None, None], cc[..., None, None], rows, cols_), grad)
+        x._accumulate(grad_x)
+
+    return Tensor._make(out_data, (x,), backward, "max_pool2d")
+
+
+def _legacy_avg_pool2d(x, kernel, stride):
+    """The pre-PR average pool, verbatim."""
+    n, c, h, w = x.shape
+    out_h = conv_ops.pool_output_size(h, kernel, stride)
+    out_w = conv_ops.pool_output_size(w, kernel, stride)
+    windows = conv_ops._windows(x.data, kernel, stride)
+    out_data = np.ascontiguousarray(windows.mean(axis=(-2, -1), dtype=np.float32))
+    scale = 1.0 / (kernel * kernel)
+
+    def backward(grad):
+        grad_x = np.zeros((n, c, h, w), dtype=np.float32)
+        g = grad * scale
+        for i in range(kernel):
+            for j in range(kernel):
+                grad_x[:, :, i : i + stride * out_h : stride, j : j + stride * out_w : stride] += g
+        x._accumulate(grad_x)
+
+    return Tensor._make(out_data, (x,), backward, "avg_pool2d")
+
+
+def _legacy_sgd_step(self):
+    """The pre-PR SGD step, verbatim: out-of-place update temporaries."""
+    for i, p in enumerate(self.params):
+        if p.grad is None:
+            continue
+        grad = p.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * p.data
+        if self.momentum:
+            if self._velocity[i] is None:
+                self._velocity[i] = grad.copy()
+            else:
+                v = self._velocity[i]
+                v *= self.momentum
+                v += grad
+            grad = self._velocity[i]
+        p.data -= self.lr * grad
+
+
+@contextlib.contextmanager
+def _pre_pr_substrate():
+    """Swap the full pre-PR training substrate back into the stack.
+
+    Conv, batch norm, relu, matmul, both pools and the SGD step are
+    replaced with their verbatim pre-PR implementations so the speedup
+    benchmark measures the whole substrate (hybrid GEMM layouts,
+    workspace pooling, gradient donation, in-place optimizer) against
+    exactly the code path the repo shipped before this PR — not against
+    a baseline that silently inherits half the optimizations.
+    """
+    from repro.nn.optim import SGD
+    from repro.tensor import functional as F
+
+    saved = (
+        conv_ops.conv2d, F.batch_norm_2d, Tensor.relu, Tensor.__matmul__,
+        conv_ops.max_pool2d, conv_ops.avg_pool2d, SGD.step,
+    )
+    conv_ops.conv2d = _legacy_conv2d
+    F.batch_norm_2d = _legacy_batch_norm_2d
+    Tensor.relu = _legacy_relu
+    Tensor.__matmul__ = _legacy_matmul
+    conv_ops.max_pool2d = _legacy_max_pool2d
+    conv_ops.avg_pool2d = _legacy_avg_pool2d
+    SGD.step = _legacy_sgd_step
+    try:
+        yield
+    finally:
+        (conv_ops.conv2d, F.batch_norm_2d, Tensor.relu, Tensor.__matmul__,
+         conv_ops.max_pool2d, conv_ops.avg_pool2d, SGD.step) = saved
+
+
+class TestTrainingThroughput:
+    """The PR 2 substrate: hybrid-GEMM conv + workspace reuse + fold executors.
+
+    Timings land in the CI benchmark JSON artifact next to the inference
+    numbers; assertions stay qualitative (ratios, steady-state pool
+    behaviour), never absolute wall clock.
+    """
+
+    @pytest.fixture(scope="class")
+    def bench_config(self):
+        """The paper's winning input combination at its 100x100 patch size."""
+        return ModelConfig(channels=5, batch=8, kernel_size=3, stride=2, padding=1,
+                           pool_choice=0, kernel_size_pool=3, stride_pool=2,
+                           initial_output_feature=32)
+
+    def _evaluator(self, **overrides):
+        """Small-but-real CV evaluator at the paper's 100x100 patch size."""
+        kwargs = dict(samples_per_class=8, patch_size=100, epochs=3, k=2,
+                      regions=["california"], seed=0)
+        kwargs.update(overrides)
+        return TrainingEvaluator(**kwargs)
+
+    def test_training_step_throughput(self, benchmark, bench_config):
+        """Images/s + steady-state workspace reuse of one SGD train step."""
+        model = build_model(bench_config, seed=0)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(8, bench_config.channels, 64, 64)).astype(np.float32)
+        y = rng.integers(0, 2, size=8)
+        from repro.nn.loss import CrossEntropyLoss
+        from repro.nn.optim import SGD
+
+        loss_fn = CrossEntropyLoss()
+        optimizer = SGD(model.parameters(), lr=0.01, momentum=0.9)
+        model.train()
+        pool = WorkspacePool()
+
+        def step():
+            with use_workspaces(pool):
+                optimizer.zero_grad()
+                loss = loss_fn(model(Tensor(x)), y)
+                loss.backward()
+                optimizer.step()
+            return loss
+
+        step()  # warm the pool so the benchmark sees the steady state
+        misses_after_warmup = pool.stats()["misses"]
+        benchmark(step)
+        stats = pool.stats()
+        # Steady state: every scratch acquisition is a recycled buffer.
+        assert stats["misses"] == misses_after_warmup
+        assert stats["hits"] > stats["misses"]
+        assert stats["peak_bytes"] > 0
+
+    def test_training_step_profile_reports_phases(self, bench_config):
+        """The profiler's phase split and workspace counters are coherent."""
+        model = build_model(bench_config, seed=0)
+        profile = profile_training_step(model, batch=4, input_hw=(32, 32), steps=3)
+        assert profile.images_per_s > 0
+        assert profile.forward_s > 0 and profile.backward_s > 0
+        # Misses stop growing after the first step; steps 2..3 are all hits.
+        assert profile.workspace["hits"] > profile.workspace["misses"]
+
+    def test_evaluator_speedup_vs_pre_pr_path(self, benchmark, bench_config):
+        """The substrate trains >= 1.5x faster than the pre-PR path.
+
+        Tolerance rationale: at the paper's 100x100 patches the hybrid
+        GEMM layout, workspace reuse and gradient donation measure
+        ~1.8x over the legacy allocation-per-call substrate locally, so
+        1.5x leaves headroom for noisy CI machines while still failing
+        if the layout heuristic, the pooling or the donation path
+        regresses.  The two paths are timed in *paired interleaved*
+        rounds and compared by the median per-round ratio — a global
+        machine-speed drift between a legacy block and a new block
+        would otherwise dominate the comparison.  Fold accuracies are
+        compared coarsely here (each fold holds four validation
+        samples, i.e. 25-point granularity); exact
+        serial/parallel/workspace equality lives in
+        ``tests/test_nas_training.py``.
+        """
+        legacy_evaluator = self._evaluator(workspaces=False)
+        new_evaluator = self._evaluator()
+        with _pre_pr_substrate():  # warm dataset caches on both paths
+            legacy_result = legacy_evaluator.evaluate(bench_config)
+        new_result = new_evaluator.evaluate(bench_config)
+
+        ratios = []
+        for _ in range(3):
+            with _pre_pr_substrate():
+                t0 = time.perf_counter()
+                legacy_evaluator.evaluate(bench_config)
+                legacy_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            new_evaluator.evaluate(bench_config)
+            new_s = time.perf_counter() - t0
+            ratios.append((legacy_s / new_s, legacy_s, new_s))
+        ratios.sort()
+        speedup, legacy_s, new_s = ratios[len(ratios) // 2]
+
+        if not getattr(benchmark, "disabled", False):
+            # Artifact timing of the new path (the assert above is drawn
+            # from the paired rounds, not from this).
+            benchmark(new_evaluator.evaluate, bench_config)
+
+        assert speedup >= 1.5, (
+            f"training substrate should be >= 1.5x the pre-PR path: "
+            f"median paired round legacy {legacy_s * 1e3:.0f} ms vs "
+            f"new {new_s * 1e3:.0f} ms ({speedup:.2f}x)"
+        )
+        # Qualitatively unchanged accuracy: same fold count, valid
+        # percentages, and means within the coarse granularity bound.
+        assert len(new_result.fold_accuracies) == len(legacy_result.fold_accuracies)
+        assert all(0.0 <= a <= 100.0 for a in new_result.fold_accuracies)
+        assert abs(new_result.accuracy - legacy_result.accuracy) <= 50.0
+
+    def test_fold_parallel_matches_serial(self, benchmark, bench_config):
+        """Process-pool CV reproduces serial fold accuracies bitwise.
+
+        No wall-clock assertion: on a single-core runner the pool's
+        spawn cost dwarfs the fold work, so only determinism — the
+        property that makes fold parallelism safe to enable anywhere —
+        is asserted, and both timings are reported in the artifact.
+        """
+        from repro.data.dataset import DrainageCrossingDataset
+
+        dataset = DrainageCrossingDataset(channels=bench_config.channels, size=48,
+                                          samples_per_class=4, regions=["california"], seed=0)
+        settings = TrainSettings(epochs=1, k=2, recalibrate_bn=False)
+
+        def run_serial():
+            return cross_validate_model(bench_config, dataset, settings=settings, seed=7)
+
+        serial_accs = benchmark(run_serial)
+        t0 = time.perf_counter()
+        parallel_accs = cross_validate_model(
+            bench_config, dataset,
+            settings=replace(settings, executor="process", workers=2), seed=7,
+        )
+        parallel_s = time.perf_counter() - t0
+        print(f"\nfold-parallel CV: {parallel_s * 1e3:.0f} ms (process x2) "
+              f"vs serial — accuracies {serial_accs}")
+        assert parallel_accs == serial_accs  # bitwise, not approximately
 
 
 class TestDataPerformance:

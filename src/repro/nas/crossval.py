@@ -4,10 +4,24 @@ Implements the paper's evaluation protocol: split the dataset into k
 folds; for each fold train a freshly initialized model on the remaining
 k-1 folds and measure accuracy on the held-out fold; report all fold
 accuracies (their mean is the NNI objective).
+
+Folds are independent by construction — every fold derives its init,
+shuffle and augmentation streams from :class:`SeedSequenceFactory` keys,
+never from shared mutable RNG state — so :func:`cross_validate_model`
+can route them through any :class:`repro.parallel.Executor`.  The
+process-pool backend returns **bitwise-identical** fold accuracies to
+the serial one (``tests/test_nas_training.py`` enforces this), because
+serial and parallel execution run the exact same per-fold closure.
+
+Each fold also trains inside a :func:`repro.tensor.use_workspaces`
+context (when ``TrainSettings.workspaces`` is set, the default), which
+recycles conv im2col/col2im scratch buffers across steps instead of
+reallocating them — the training-side analogue of the deploy arena.
 """
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -20,10 +34,18 @@ from repro.nas.config import ModelConfig
 from repro.nn.loss import CrossEntropyLoss
 from repro.nn.optim import SGD
 from repro.nn.resnet import build_model
+from repro.parallel.executor import Executor, make_executor
 from repro.tensor.tensor import Tensor, no_grad
+from repro.tensor.workspace import WorkspacePool, use_workspaces
 from repro.utils.rng import SeedSequenceFactory
 
-__all__ = ["TrainSettings", "train_one_model", "evaluate_accuracy", "cross_validate_model"]
+__all__ = [
+    "TrainSettings",
+    "train_one_model",
+    "evaluate_accuracy",
+    "cross_validate_model",
+    "clear_fold_workspaces",
+]
 
 
 @dataclass(frozen=True)
@@ -35,6 +57,18 @@ class TrainSettings:
     At the paper's scale (~1,200 updates/epoch) the EMA converges on its
     own; at this library's CPU-test scale (a handful of updates) stale
     running stats would otherwise wreck eval-mode accuracy.
+
+    The performance-substrate knobs:
+
+    - ``workspaces`` — run each fold inside
+      :func:`repro.tensor.use_workspaces`, pooling conv/pool scratch
+      buffers across training steps (bitwise-identical results; on by
+      default).
+    - ``executor`` / ``workers`` — backend for
+      :func:`cross_validate_model`'s independent folds: ``"serial"``
+      (default) or ``"process"`` with ``workers`` processes.  Fold
+      seeding is key-derived, so the parallel backend reproduces the
+      serial fold accuracies exactly.
     """
 
     epochs: int = 5
@@ -45,6 +79,9 @@ class TrainSettings:
     augment: bool = False
     eval_batch: int = 32
     recalibrate_bn: bool = True
+    workspaces: bool = True
+    executor: str = "serial"
+    workers: int | None = None
 
 
 def recalibrate_batchnorm(
@@ -130,13 +167,80 @@ def evaluate_accuracy(model, dataset: DrainageCrossingDataset, indices: np.ndarr
     return 100.0 * correct / indices.size
 
 
+@dataclass(frozen=True)
+class _FoldTask:
+    """One self-contained fold: everything a pool worker needs, pickled."""
+
+    config: ModelConfig
+    dataset: DrainageCrossingDataset
+    settings: TrainSettings
+    train_idx: np.ndarray
+    val_idx: np.ndarray
+    init_seed: int
+    train_seed: int
+
+
+#: Process-local workspace pool shared by every fold this process runs.
+#: Folds of one sweep repeat the same conv geometries, so reusing the
+#: pool across folds (and trials) turns each fold's initial allocation
+#: burst — hundreds of MB of first-touch page faults — into hits.
+#: Shape-keyed reuse is bitwise-safe; see :mod:`repro.tensor.workspace`.
+_FOLD_POOL: "WorkspacePool | None" = None
+
+
+def _fold_workspace_pool() -> "WorkspacePool":
+    global _FOLD_POOL
+    if _FOLD_POOL is None:
+        _FOLD_POOL = WorkspacePool()
+    return _FOLD_POOL
+
+
+def clear_fold_workspaces() -> None:
+    """Drop the process-local fold pool (frees its pooled scratch)."""
+    global _FOLD_POOL
+    if _FOLD_POOL is not None:
+        _FOLD_POOL.clear()
+        _FOLD_POOL = None
+
+
+def _run_fold(task: _FoldTask) -> float:
+    """Train and score one fold (top-level so process pools can pickle it)."""
+    context = (
+        use_workspaces(_fold_workspace_pool())
+        if task.settings.workspaces
+        else contextlib.nullcontext()
+    )
+    with context:
+        model = build_model(task.config, seed=task.init_seed)
+        train_one_model(
+            model,
+            task.dataset,
+            task.train_idx,
+            batch_size=task.config.batch,
+            settings=task.settings,
+            rng_seed=task.train_seed,
+        )
+        return evaluate_accuracy(model, task.dataset, task.val_idx, batch=task.settings.eval_batch)
+
+
 def cross_validate_model(
     config: ModelConfig,
     dataset: DrainageCrossingDataset,
     settings: TrainSettings,
     seed: int = 0,
+    executor: Executor | None = None,
 ) -> list[float]:
     """The paper's k-fold CV: k independent train/validate runs.
+
+    Parameters
+    ----------
+    executor:
+        Backend for the independent folds.  ``None`` builds one from
+        ``settings.executor`` / ``settings.workers`` (and closes it
+        afterwards); pass a live :class:`~repro.parallel.Executor` to
+        amortize process-pool startup across many trials.  Fold seeds
+        are derived per key before dispatch, so every backend returns
+        the same accuracies bit for bit.
 
     Returns the k fold accuracies in percent.
     """
@@ -146,16 +250,19 @@ def cross_validate_model(
         )
     seeds = SeedSequenceFactory(seed)
     folds = kfold_indices(len(dataset), k=settings.k, seed=seeds.seed_for("folds") % (2**31))
-    accuracies: list[float] = []
-    for fold_idx, (train_idx, val_idx) in enumerate(folds):
-        model = build_model(config, seed=seeds.seed_for("init", fold_idx) % (2**31))
-        train_one_model(
-            model,
-            dataset,
-            train_idx,
-            batch_size=config.batch,
+    tasks = [
+        _FoldTask(
+            config=config,
+            dataset=dataset,
             settings=settings,
-            rng_seed=seeds.seed_for("train", fold_idx),
+            train_idx=train_idx,
+            val_idx=val_idx,
+            init_seed=seeds.seed_for("init", fold_idx) % (2**31),
+            train_seed=seeds.seed_for("train", fold_idx),
         )
-        accuracies.append(evaluate_accuracy(model, dataset, val_idx, batch=settings.eval_batch))
-    return accuracies
+        for fold_idx, (train_idx, val_idx) in enumerate(folds)
+    ]
+    if executor is not None:
+        return list(executor.map(_run_fold, tasks))
+    with make_executor(settings.executor, workers=settings.workers, chunksize=1) as owned:
+        return list(owned.map(_run_fold, tasks))

@@ -3,6 +3,15 @@
 Update rules follow the PyTorch conventions (momentum buffer ``v = mu*v + g``,
 decoupled-from-loss L2 weight decay added to the gradient) so hyperparameters
 transfer from the paper's training recipe.
+
+``step`` is allocation-free in steady state: each optimizer keeps one
+per-parameter scratch array and performs every update with in-place
+ufuncs (``np.multiply(..., out=...)`` etc.), so the optimizer never
+contributes to the allocation traffic the training workspace pool
+(:mod:`repro.tensor.workspace`) removes from the conv layers.  The
+gradient array itself may be mutated by weight decay — it is private to
+the step because ``Tensor._accumulate`` always copies, and is discarded
+by the following ``zero_grad()``.
 """
 
 from __future__ import annotations
@@ -23,6 +32,15 @@ class Optimizer:
         self.params = list(params)
         if not self.params:
             raise ValueError("optimizer received no parameters")
+        self._scratch: list[np.ndarray | None] = [None] * len(self.params)
+
+    def _buf(self, i: int) -> np.ndarray:
+        """Reusable scratch array shaped like parameter ``i``."""
+        buf = self._scratch[i]
+        if buf is None:
+            buf = np.empty_like(self.params[i].data)
+            self._scratch[i] = buf
+        return buf
 
     def zero_grad(self) -> None:
         """Clear gradients of all managed parameters."""
@@ -61,8 +79,11 @@ class SGD(Optimizer):
             if p.grad is None:
                 continue
             grad = p.grad
+            buf = self._buf(i)
             if self.weight_decay:
-                grad = grad + self.weight_decay * p.data
+                # grad += wd * p  (in place on the private gradient copy)
+                np.multiply(p.data, self.weight_decay, out=buf)
+                grad += buf
             if self.momentum:
                 if self._velocity[i] is None:
                     self._velocity[i] = grad.copy()
@@ -71,7 +92,9 @@ class SGD(Optimizer):
                     v *= self.momentum
                     v += grad
                 grad = self._velocity[i]
-            p.data -= self.lr * grad
+            # p -= lr * grad without a temporary.
+            np.multiply(grad, self.lr, out=buf)
+            p.data -= buf
 
 
 class Adam(Optimizer):
@@ -107,11 +130,24 @@ class Adam(Optimizer):
             if p.grad is None:
                 continue
             grad = p.grad
+            buf = self._buf(i)
             if self.weight_decay:
-                grad = grad + self.weight_decay * p.data
+                np.multiply(p.data, self.weight_decay, out=buf)
+                grad += buf
             m, v = self._m[i], self._v[i]
+            # m = beta1*m + (1-beta1)*grad
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            np.multiply(grad, 1.0 - self.beta1, out=buf)
+            m += buf
+            # v = beta2*v + (1-beta2)*grad^2
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            p.data -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+            np.multiply(grad, grad, out=buf)
+            buf *= 1.0 - self.beta2
+            v += buf
+            # p -= lr * (m/bias1) / (sqrt(v/bias2) + eps), staged in `buf`.
+            np.divide(v, bias2, out=buf)
+            np.sqrt(buf, out=buf)
+            buf += self.eps
+            np.divide(m, buf, out=buf)
+            buf *= self.lr / bias1
+            p.data -= buf

@@ -9,6 +9,7 @@ or over a process pool; tasks must be picklable top-level callables.
 from __future__ import annotations
 
 import concurrent.futures
+import math
 import os
 from typing import Callable, Iterable, Sequence, TypeVar
 
@@ -67,11 +68,24 @@ class ProcessPoolExecutorBackend(Executor):
         return self._pool
 
     def _effective_chunksize(self, n_items: int) -> int:
+        """Chunk size actually used for a map over ``n_items`` tasks.
+
+        Never returns less than 1 (empty/near-empty sweeps used to be
+        able to produce degenerate sizes) and never more than
+        ``ceil(n_items / workers)`` — an oversized explicit chunksize on
+        a tiny sweep would otherwise ship every task to one worker and
+        serialize the whole map.
+        """
+        if n_items <= 0:
+            return 1
+        spread_cap = max(1, math.ceil(n_items / self.workers))
         if self.chunksize is not None:
-            return self.chunksize
-        return max(1, n_items // (4 * self.workers))
+            return min(self.chunksize, spread_cap)
+        return min(max(1, n_items // (4 * self.workers)), spread_cap)
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        if not items:
+            return []  # avoid spinning up workers for an empty sweep
         pool = self._ensure_pool()
         return list(pool.map(fn, items, chunksize=self._effective_chunksize(len(items))))
 

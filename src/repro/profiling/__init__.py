@@ -1,6 +1,20 @@
 """Lightweight per-layer profiling (the Discussion's Nsight substitute)."""
 
-from repro.profiling.profiler import LayerProfiler, LayerProfile, profile_model
-from repro.profiling.report import profile_table
+from repro.profiling.profiler import (
+    LayerProfiler,
+    LayerProfile,
+    TrainingStepProfile,
+    profile_model,
+    profile_training_step,
+)
+from repro.profiling.report import profile_table, training_profile_table
 
-__all__ = ["LayerProfiler", "LayerProfile", "profile_model", "profile_table"]
+__all__ = [
+    "LayerProfiler",
+    "LayerProfile",
+    "TrainingStepProfile",
+    "profile_model",
+    "profile_training_step",
+    "profile_table",
+    "training_profile_table",
+]

@@ -9,6 +9,7 @@ by layer.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass
 
@@ -19,8 +20,15 @@ from repro.graph.ir import OpType
 from repro.graph.trace import trace_model
 from repro.nn.resnet import SearchableResNet18
 from repro.tensor.tensor import Tensor, no_grad
+from repro.tensor.workspace import use_workspaces
 
-__all__ = ["LayerProfile", "LayerProfiler", "profile_model"]
+__all__ = [
+    "LayerProfile",
+    "LayerProfiler",
+    "profile_model",
+    "TrainingStepProfile",
+    "profile_training_step",
+]
 
 
 @dataclass(frozen=True)
@@ -113,3 +121,90 @@ def profile_model(
     rng = np.random.default_rng(seed)
     x = rng.normal(size=(batch, model.in_channels, *input_hw)).astype(np.float32)
     return LayerProfiler(model).run(x, repeats=repeats)
+
+
+@dataclass(frozen=True)
+class TrainingStepProfile:
+    """Phase timings + workspace counters of an SGD training loop.
+
+    ``workspace`` holds :meth:`repro.tensor.WorkspacePool.stats` for the
+    profiled run (all zeros when profiling with ``workspaces=False``):
+    ``misses`` is the number of distinct scratch allocations the pool
+    had to make, ``hits`` the number of recycled acquisitions, and
+    ``peak_bytes`` the scratch high-water mark of the training step.
+    """
+
+    steps: int
+    batch: int
+    forward_s: float
+    backward_s: float
+    optimizer_s: float
+    workspace: dict[str, int]
+
+    @property
+    def total_s(self) -> float:
+        """Wall time over all phases."""
+        return self.forward_s + self.backward_s + self.optimizer_s
+
+    @property
+    def images_per_s(self) -> float:
+        """End-to-end training throughput."""
+        return self.steps * self.batch / self.total_s if self.total_s > 0 else 0.0
+
+
+def profile_training_step(
+    model,
+    batch: int = 4,
+    input_hw: tuple[int, int] = (32, 32),
+    steps: int = 3,
+    seed: int = 0,
+    lr: float = 0.01,
+    momentum: float = 0.9,
+    workspaces: bool = True,
+) -> TrainingStepProfile:
+    """Time the forward / backward / optimizer phases of real SGD steps.
+
+    The training analogue of :func:`profile_model`: runs ``steps`` full
+    train steps (cross-entropy loss on random two-class labels) and
+    splits wall time by phase, with the workspace pool's hit/miss/peak
+    counters — the signal for judging whether the
+    :func:`repro.tensor.use_workspaces` substrate is carrying the conv
+    scratch traffic (it should: misses stop growing after step one).
+    """
+    from repro.nn.loss import CrossEntropyLoss
+    from repro.nn.optim import SGD
+
+    if steps < 1:
+        raise ValueError(f"steps must be >= 1, got {steps}")
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(batch, model.in_channels, *input_hw)).astype(np.float32)
+    y = rng.integers(0, 2, size=batch)
+    loss_fn = CrossEntropyLoss()
+    optimizer = SGD(model.parameters(), lr=lr, momentum=momentum)
+    model.train()
+    forward_s = backward_s = optimizer_s = 0.0
+    context = use_workspaces() if workspaces else contextlib.nullcontext()
+    with context as pool:
+        for _ in range(steps):
+            optimizer.zero_grad()
+            t0 = time.perf_counter()
+            loss = loss_fn(model(Tensor(x)), y)
+            t1 = time.perf_counter()
+            loss.backward()
+            t2 = time.perf_counter()
+            optimizer.step()
+            t3 = time.perf_counter()
+            forward_s += t1 - t0
+            backward_s += t2 - t1
+            optimizer_s += t3 - t2
+        stats = pool.stats() if pool is not None else {
+            "hits": 0, "misses": 0, "peak_bytes": 0, "free_bytes": 0, "shapes": 0,
+        }
+    return TrainingStepProfile(
+        steps=steps,
+        batch=batch,
+        forward_s=forward_s,
+        backward_s=backward_s,
+        optimizer_s=optimizer_s,
+        workspace=stats,
+    )

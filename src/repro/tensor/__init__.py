@@ -10,10 +10,14 @@ Section 2).  It provides:
 - :mod:`~repro.tensor.conv_ops` — vectorized conv2d / pooling built on
   ``numpy.lib.stride_tricks.sliding_window_view`` (no per-pixel Python
   loops, per the HPC guide's vectorization idiom);
+- :mod:`~repro.tensor.workspace` — pooled scratch buffers
+  (:func:`use_workspaces`) that let conv/pool forward+backward reuse
+  im2col/col2im allocations across training steps;
 - :mod:`~repro.tensor.grad_check` — finite-difference gradient checking.
 """
 
 from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor.workspace import WorkspacePool, active_pool, use_workspaces, workspaces_enabled
 from repro.tensor.functional import (
     batch_norm_2d,
     cross_entropy_logits,
@@ -32,12 +36,16 @@ from repro.tensor.conv_ops import (
     max_pool2d,
     pool_output_size,
 )
-from repro.tensor.grad_check import check_gradients, numerical_gradient
+from repro.tensor.grad_check import check_backend_consistency, check_gradients, numerical_gradient
 
 __all__ = [
     "Tensor",
     "no_grad",
     "is_grad_enabled",
+    "WorkspacePool",
+    "use_workspaces",
+    "active_pool",
+    "workspaces_enabled",
     "relu",
     "sigmoid",
     "tanh",
@@ -53,5 +61,6 @@ __all__ = [
     "global_avg_pool2d",
     "pool_output_size",
     "check_gradients",
+    "check_backend_consistency",
     "numerical_gradient",
 ]

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.tensor.tensor import Tensor
+from repro.tensor.tensor import Tensor, is_grad_enabled
+from repro.tensor.workspace import active_pool
 
 __all__ = [
     "relu",
@@ -134,6 +135,15 @@ def batch_norm_2d(
     In training mode, normalizes by the batch statistics and updates the
     running buffers in place (PyTorch's exponential-moving-average
     convention); in eval mode, normalizes by the running buffers.
+
+    Performance shape: the centred batch is computed once on pooled
+    scratch (:func:`repro.tensor.workspace.active_pool`) and reused both
+    for the one-pass variance and as ``x_hat``, so the op allocates only
+    its output; the backward runs on one more pooled scratch buffer and
+    releases ``x_hat`` when done.  When no gradient can flow, no closure
+    is kept: in eval mode the per-channel scale/shift are folded into a
+    single fused pass, and in training mode under ``no_grad`` (the BN
+    recalibration path) the scratch is recycled immediately.
     """
     if x.ndim != 4:
         raise ValueError(f"batch_norm_2d expects (N, C, H, W), got shape {x.shape}")
@@ -143,9 +153,22 @@ def batch_norm_2d(
     axes = (0, 2, 3)
     count = n * h * w
 
+    needs_grad = is_grad_enabled() and (
+        x.requires_grad or gamma.requires_grad or beta.requires_grad
+    )
+    pool = active_pool()
+
     if training:
         mean = x.data.mean(axis=axes, dtype=np.float32)
-        var = x.data.var(axis=axes, dtype=np.float32)
+        # One-pass variance on pooled scratch: the centred batch is
+        # computed once and reused as x_hat afterwards instead of
+        # letting ``ndarray.var`` redo the centring internally.
+        centred = pool.acquire(x.shape)
+        np.subtract(x.data, mean[None, :, None, None], out=centred)
+        sq = pool.acquire(x.shape)
+        np.multiply(centred, centred, out=sq)
+        var = sq.mean(axis=axes, dtype=np.float32)
+        pool.release(sq)
         # Running buffers track the *unbiased* variance, as PyTorch does.
         unbiased = var * (count / max(count - 1, 1))
         running_mean *= 1.0 - momentum
@@ -155,25 +178,61 @@ def batch_norm_2d(
     else:
         mean = running_mean.astype(np.float32)
         var = running_var.astype(np.float32)
+        centred = None
 
     inv_std = 1.0 / np.sqrt(var + eps)
-    x_hat = (x.data - mean[None, :, None, None]) * inv_std[None, :, None, None]
-    out_data = x_hat * gamma.data[None, :, None, None] + beta.data[None, :, None, None]
+
+    if not training and not needs_grad:
+        # Inference fast path: y = x * (gamma/std) + (beta - mean*gamma/std).
+        scale = gamma.data * inv_std
+        shift = beta.data - mean * scale
+        out_data = x.data * scale[None, :, None, None]
+        out_data += shift[None, :, None, None]
+        return Tensor._make(out_data, (x, gamma, beta), None, "batch_norm_2d")
+
+    # x_hat lives in pooled scratch; the backward closure releases it.
+    if centred is None:
+        centred = pool.acquire(x.shape)
+        np.subtract(x.data, mean[None, :, None, None], out=centred)
+    x_hat = centred
+    x_hat *= inv_std[None, :, None, None]
+    out_data = x_hat * gamma.data[None, :, None, None]
+    out_data += beta.data[None, :, None, None]
+
+    if not needs_grad:
+        # Training-mode forward under no_grad (e.g. BN recalibration):
+        # no closure will be kept, so recycle the scratch immediately.
+        pool.release(x_hat)
+        return Tensor._make(out_data, (x, gamma, beta), None, "batch_norm_2d")
 
     def backward(grad: np.ndarray) -> None:
-        g = gamma.data[None, :, None, None]
-        gamma._accumulate((grad * x_hat).sum(axis=axes))
-        beta._accumulate(grad.sum(axis=axes))
-        if not x.requires_grad:
-            return
-        if training:
-            # Full batch-norm backward: the batch statistics depend on x.
-            dxhat = grad * g
-            term1 = dxhat
-            term2 = dxhat.mean(axis=axes, keepdims=True)
-            term3 = x_hat * (dxhat * x_hat).mean(axis=axes, keepdims=True)
-            x._accumulate((term1 - term2 - term3) * inv_std[None, :, None, None])
+        # One pooled full-tensor scratch carries the whole backward: the
+        # parameter-gradient reductions double as the per-channel means
+        # of the input gradient (gamma is per-channel, so it folds out
+        # of both mean terms of the classic batch-norm backward).
+        buf = pool.acquire(grad.shape)
+        np.multiply(grad, x_hat, out=buf)
+        sum_gx = buf.sum(axis=axes)  # == d(gamma); /count == mean(grad * x_hat)
+        sum_g = grad.sum(axis=axes)  # == d(beta);  /count == mean(grad)
+        # Fresh reduction outputs: donated, not copied.  They stay readable
+        # below — nothing writes a parameter gradient before the optimizer.
+        gamma._accumulate_owned(sum_gx)
+        beta._accumulate_owned(sum_g)
+        if x.requires_grad:
+            scale = gamma.data * inv_std  # per-channel fold
+            if training:
+                # dL/dx = (grad - mean(grad) - x_hat * mean(grad*x_hat))
+                #         * gamma * inv_std   (batch stats depend on x)
+                np.multiply(x_hat, (sum_gx / count)[None, :, None, None], out=buf)
+                buf += (sum_g / count)[None, :, None, None]
+                np.subtract(grad, buf, out=buf)
+                buf *= scale[None, :, None, None]
+            else:
+                np.multiply(grad, scale[None, :, None, None], out=buf)
+            x._accumulate_pooled(buf, pool)
         else:
-            x._accumulate(grad * g * inv_std[None, :, None, None])
+            pool.release(buf)
+        # The tape runs each closure once; the normalized batch is spent.
+        pool.release(x_hat)
 
     return Tensor._make(out_data, (x, gamma, beta), backward, "batch_norm_2d")

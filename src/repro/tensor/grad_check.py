@@ -8,13 +8,14 @@ gradients, which err at O(1).
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+import contextlib
+from typing import Callable, ContextManager, Sequence
 
 import numpy as np
 
 from repro.tensor.tensor import Tensor
 
-__all__ = ["numerical_gradient", "check_gradients"]
+__all__ = ["numerical_gradient", "check_gradients", "check_backend_consistency"]
 
 
 def numerical_gradient(
@@ -70,3 +71,51 @@ def check_gradients(
                 f"gradient mismatch for input {i}: max abs err {worst:.4g}\n"
                 f"analytic:\n{actual}\nnumeric:\n{expected}"
             )
+
+
+def check_backend_consistency(
+    fn: Callable[[Sequence[Tensor]], Tensor],
+    inputs: Sequence[Tensor],
+    contexts: Sequence[Callable[[], ContextManager]] = (contextlib.nullcontext,),
+) -> None:
+    """Assert ``fn`` is **bitwise identical** under each execution context.
+
+    Used to certify substrate rewrites that must not change numerics —
+    e.g. :func:`repro.tensor.workspace.use_workspaces` (pooled scratch
+    buffers) against the default allocation-per-call path.  For every
+    context factory the forward output and every input gradient of
+    ``sum(fn(inputs))`` are computed; all runs must match the first one
+    *exactly* (``np.array_equal``), not just within tolerance, because
+    both paths are required to execute the same arithmetic on fully
+    initialized buffers.
+
+    Raises ``AssertionError`` naming the context index and the first
+    diverging artifact on mismatch.
+    """
+    reference_out: np.ndarray | None = None
+    reference_grads: list[np.ndarray | None] = []
+    for ctx_index, make_context in enumerate(contexts):
+        for t in inputs:
+            t.zero_grad()
+        with make_context():
+            out = fn(inputs)
+            out.sum().backward()
+        grads = [None if t.grad is None else t.grad.copy() for t in inputs]
+        if ctx_index == 0:
+            reference_out = out.data.copy()
+            reference_grads = grads
+            continue
+        assert reference_out is not None
+        if not np.array_equal(out.data, reference_out):
+            raise AssertionError(
+                f"context {ctx_index} forward output differs bitwise from context 0 "
+                f"(max abs diff {np.abs(out.data - reference_out).max():.4g})"
+            )
+        for i, (got, want) in enumerate(zip(grads, reference_grads)):
+            if (got is None) != (want is None):
+                raise AssertionError(f"context {ctx_index}: input {i} gradient presence differs")
+            if got is not None and not np.array_equal(got, want):
+                raise AssertionError(
+                    f"context {ctx_index}: input {i} gradient differs bitwise from context 0 "
+                    f"(max abs diff {np.abs(got - want).max():.4g})"
+                )

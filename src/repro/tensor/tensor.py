@@ -76,7 +76,7 @@ class Tensor:
         :meth:`backward`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "_op")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "_op", "_grad_pool")
     __array_priority__ = 100  # ensure ndarray + Tensor dispatches to Tensor
 
     def __init__(self, data, requires_grad: bool = False) -> None:
@@ -86,6 +86,10 @@ class Tensor:
         self._backward: Callable[[np.ndarray], None] | None = None
         self._prev: tuple[Tensor, ...] = ()
         self._op: str = ""
+        #: Workspace pool owning :attr:`grad` when the buffer was donated
+        #: via :meth:`_accumulate_pooled`; :meth:`backward` releases it
+        #: once the gradient has been consumed.
+        self._grad_pool = None
 
     # -- construction helpers -------------------------------------------------
 
@@ -168,7 +172,7 @@ class Tensor:
     # -- gradient machinery ----------------------------------------------------
 
     def _accumulate(self, grad: np.ndarray) -> None:
-        """Add ``grad`` into this tensor's gradient buffer."""
+        """Add ``grad`` into this tensor's gradient buffer (defensive copy)."""
         if not self.requires_grad:
             return
         grad = grad.astype(np.float32, copy=False)
@@ -177,9 +181,44 @@ class Tensor:
         else:
             self.grad += grad
 
+    def _accumulate_owned(self, grad: np.ndarray) -> None:
+        """Accumulate a float32 array the caller relinquishes (no copy).
+
+        The donation twin of :meth:`_accumulate` for *freshly allocated*
+        arrays (reduction outputs, GEMM results): instead of copying, the
+        array itself becomes the gradient buffer.  The caller must not
+        read or write it afterwards.
+        """
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = grad
+        else:
+            self.grad += grad
+
+    def _accumulate_pooled(self, grad: np.ndarray, pool) -> None:
+        """Accumulate a workspace buffer, donating it when possible.
+
+        When this is the first gradient, the pooled scratch buffer is
+        adopted as :attr:`grad` outright — no copy — and :meth:`backward`
+        releases it back to ``pool`` after the tensor's own closure has
+        consumed it.  Otherwise the buffer is added and released now.
+        The caller must not touch ``grad`` afterwards in either case.
+        """
+        if not self.requires_grad:
+            pool.release(grad)
+            return
+        if self.grad is None:
+            self.grad = grad
+            self._grad_pool = pool
+        else:
+            self.grad += grad
+            pool.release(grad)
+
     def zero_grad(self) -> None:
         """Clear the accumulated gradient."""
         self.grad = None
+        self._grad_pool = None
 
     def backward(self, grad: np.ndarray | None = None) -> None:
         """Run reverse-mode autodiff from this tensor.
@@ -226,6 +265,11 @@ class Tensor:
                 if node is not self and node._prev:
                     # Intermediate grads are not retained (PyTorch semantics);
                     # freeing them bounds peak memory of long training runs.
+                    # Donated workspace buffers go back to their pool here —
+                    # the closure above was this gradient's last reader.
+                    if node._grad_pool is not None:
+                        node._grad_pool.release(node.grad)
+                        node._grad_pool = None
                     node.grad = None
 
     # -- arithmetic ops ----------------------------------------------------------
@@ -303,8 +347,9 @@ class Tensor:
         out_data = self.data @ other.data
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad @ other.data.T)
-            other._accumulate(self.data.T @ grad)
+            # Both products are fresh arrays — donate rather than copy.
+            self._accumulate_owned(grad @ other.data.T)
+            other._accumulate_owned(self.data.T @ grad)
 
         return Tensor._make(out_data, (self, other), backward, "matmul")
 
@@ -403,9 +448,21 @@ class Tensor:
     def relu(self) -> "Tensor":
         """Rectified linear unit."""
         out_data = np.maximum(self.data, 0.0)
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor._make(out_data, (self,), None, "relu")
+        from repro.tensor.workspace import active_pool
+
+        pool = active_pool()
+        # Float 0/1 mask in a pooled buffer (np.greater writes exact 0.0 /
+        # 1.0, so grad * mask is bitwise-equal to grad * (data > 0)).
+        mask = pool.acquire(self.data.shape)
+        np.greater(self.data, 0.0, out=mask)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * (self.data > 0))
+            # The mask buffer becomes the input gradient in place and is
+            # donated; backward() releases it after the consumer closure.
+            np.multiply(grad, mask, out=mask)
+            self._accumulate_pooled(mask, pool)
 
         return Tensor._make(out_data, (self,), backward, "relu")
 

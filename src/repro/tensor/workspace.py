@@ -1,0 +1,171 @@
+"""Pooled scratch buffers for the training hot path.
+
+The deploy compiler (PR 1) plans inference memory statically; training
+cannot, because the autograd tape creates and frees scratch arrays
+(im2col column matrices, padded inputs, col2im scatter targets) in a
+data-dependent order.  This module provides the dynamic equivalent: a
+shape-keyed free-list pool.  An op *acquires* a buffer (reusing a
+released one of the same shape when available, allocating otherwise)
+and *releases* it the moment its last reader is done — immediately for
+inference-mode forwards, inside the backward closure for training.
+
+Because buffers are only handed out after release, two live convs with
+identical geometry (e.g. repeated residual blocks) never alias: each
+acquire pops a distinct array.  Contents of an acquired buffer are
+undefined; every caller fully overwrites it, which keeps pooled and
+allocation-per-call execution bitwise identical
+(:func:`repro.tensor.grad_check.check_backend_consistency` certifies
+this in the test suite).
+
+Activation is lexical: ops consult :func:`active_pool` and fall back to
+plain ``np.empty`` allocation when no :func:`use_workspaces` context is
+open, so nothing changes for code that does not opt in.
+
+One caveat: inside a ``use_workspaces`` block a graph may be
+back-propagated **once** — the backward closures return their column
+workspaces to the pool after use, so a retained-graph second
+``backward()`` would read recycled memory.  Nothing in the library (or
+in standard SGD training) calls backward twice on one graph.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "WorkspacePool",
+    "use_workspaces",
+    "active_pool",
+    "workspaces_enabled",
+]
+
+
+class _PoolBase:
+    """Interface shared by the real pool and the allocate-always fallback."""
+
+    def acquire(self, shape: tuple[int, ...]) -> np.ndarray:
+        raise NotImplementedError
+
+    def release(self, buffer: np.ndarray) -> None:
+        raise NotImplementedError
+
+
+class _NullPool(_PoolBase):
+    """Allocation-per-call fallback used when no workspace context is open."""
+
+    def acquire(self, shape: tuple[int, ...]) -> np.ndarray:
+        return np.empty(shape, dtype=np.float32)
+
+    def release(self, buffer: np.ndarray) -> None:  # pragma: no cover - trivial
+        pass
+
+
+class WorkspacePool(_PoolBase):
+    """Shape-keyed free-list of reusable float32 scratch arrays.
+
+    ``acquire(shape)`` pops a previously released buffer of that exact
+    shape, or allocates a fresh one on a miss; ``release`` returns a
+    buffer to its free list.  The pool never copies or zeroes — callers
+    own initialization — so a hit costs one dict lookup and a list pop.
+
+    Statistics (:attr:`hits`, :attr:`misses`, :meth:`stats`) feed the
+    training profiler and the benchmark suite; ``peak_bytes`` is the
+    high-water mark of all memory the pool has ever handed out that has
+    not been dropped by :meth:`clear`.
+    """
+
+    def __init__(self) -> None:
+        self._free: dict[tuple[int, ...], list[np.ndarray]] = {}
+        self.hits = 0
+        self.misses = 0
+        self._total_bytes = 0
+        self.peak_bytes = 0
+
+    def acquire(self, shape: tuple[int, ...]) -> np.ndarray:
+        """A float32 array of ``shape`` with **undefined contents**."""
+        stack = self._free.get(shape)
+        if stack:
+            self.hits += 1
+            return stack.pop()
+        self.misses += 1
+        buffer = np.empty(shape, dtype=np.float32)
+        self._total_bytes += buffer.nbytes
+        self.peak_bytes = max(self.peak_bytes, self._total_bytes)
+        return buffer
+
+    def release(self, buffer: np.ndarray) -> None:
+        """Return ``buffer`` to the free list for its shape.
+
+        Only arrays obtained from :meth:`acquire` should be released;
+        releasing a foreign array of a pooled shape is harmless but
+        inflates accounting.
+        """
+        self._free.setdefault(buffer.shape, []).append(buffer)
+
+    def clear(self) -> None:
+        """Drop all pooled buffers (counters are kept for reporting)."""
+        self._free.clear()
+        self._total_bytes = 0
+
+    def free_bytes(self) -> int:
+        """Bytes currently sitting in free lists (released, reusable)."""
+        return sum(b.nbytes for stack in self._free.values() for b in stack)
+
+    def stats(self) -> dict[str, int]:
+        """Counters snapshot: hits, misses, peak/free bytes, shape count."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "peak_bytes": self.peak_bytes,
+            "free_bytes": self.free_bytes(),
+            "shapes": len(self._free),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats()
+        return (
+            f"WorkspacePool(hits={s['hits']}, misses={s['misses']}, "
+            f"peak_bytes={s['peak_bytes']})"
+        )
+
+
+_NULL_POOL = _NullPool()
+_LOCAL = threading.local()
+
+
+def active_pool() -> _PoolBase:
+    """The pool ops should allocate from (the null pool when disabled)."""
+    return getattr(_LOCAL, "pool", None) or _NULL_POOL
+
+
+def workspaces_enabled() -> bool:
+    """Whether a :func:`use_workspaces` context is currently open."""
+    return getattr(_LOCAL, "pool", None) is not None
+
+
+@contextlib.contextmanager
+def use_workspaces(pool: WorkspacePool | None = None) -> Iterator[WorkspacePool]:
+    """Enable pooled scratch buffers for ops run inside the block.
+
+    Parameters
+    ----------
+    pool:
+        An existing pool to (re)enter — e.g. to accumulate statistics
+        across epochs; a fresh :class:`WorkspacePool` is created when
+        omitted.  Nesting replaces the active pool for the inner block
+        and restores the outer one afterwards.
+
+    Yields the active pool so callers can inspect :meth:`WorkspacePool.stats`.
+    """
+    if pool is None:
+        pool = WorkspacePool()
+    previous = getattr(_LOCAL, "pool", None)
+    _LOCAL.pool = pool
+    try:
+        yield pool
+    finally:
+        _LOCAL.pool = previous

@@ -78,3 +78,38 @@ class TestProfiler:
         profiles = profile_model(_winner(), batch=1, input_hw=(32, 32), repeats=1)
         text = profile_table(profiles)
         assert "stem" in text and "GFLOP/s" in text
+
+
+class TestTrainingStepProfiler:
+    def test_phase_split_and_workspace_counters(self):
+        from repro.profiling import profile_training_step
+
+        profile = profile_training_step(_winner(), batch=2, input_hw=(32, 32), steps=2)
+        assert profile.forward_s > 0 and profile.backward_s > 0 and profile.optimizer_s > 0
+        assert profile.total_s == pytest.approx(
+            profile.forward_s + profile.backward_s + profile.optimizer_s
+        )
+        assert profile.images_per_s > 0
+        # Step 2 repeats step 1's shapes: the pool recycles rather than grows.
+        assert profile.workspace["hits"] > 0
+        assert profile.workspace["misses"] > 0
+
+    def test_workspaces_off_reports_zero_counters(self):
+        from repro.profiling import profile_training_step
+
+        profile = profile_training_step(_winner(), batch=2, input_hw=(32, 32),
+                                        steps=1, workspaces=False)
+        assert profile.workspace["hits"] == 0 and profile.workspace["misses"] == 0
+
+    def test_steps_validation(self):
+        from repro.profiling import profile_training_step
+
+        with pytest.raises(ValueError):
+            profile_training_step(_winner(), steps=0)
+
+    def test_training_table_renders(self):
+        from repro.profiling import profile_training_step, training_profile_table
+
+        profile = profile_training_step(_winner(), batch=2, input_hw=(32, 32), steps=1)
+        text = training_profile_table(profile)
+        assert "forward" in text and "backward" in text and "optimizer" in text

@@ -32,6 +32,60 @@ class TestCrossValidate:
         assert a == b
 
 
+class TestFoldParallelDeterminism:
+    """The performance substrate must not change results — bit for bit."""
+
+    def test_process_pool_matches_serial_bitwise(self, tiny_dataset_5ch):
+        settings = TrainSettings(epochs=1, k=2, recalibrate_bn=False)
+        serial = cross_validate_model(_config(), tiny_dataset_5ch, settings=settings, seed=7)
+        from dataclasses import replace
+
+        parallel = cross_validate_model(
+            _config(), tiny_dataset_5ch,
+            settings=replace(settings, executor="process", workers=2), seed=7,
+        )
+        assert parallel == serial  # exact equality, not approximate
+
+    def test_workspaces_match_allocation_per_call_bitwise(self, tiny_dataset_5ch):
+        from dataclasses import replace
+
+        settings = TrainSettings(epochs=1, k=2)
+        pooled = cross_validate_model(_config(), tiny_dataset_5ch, settings=settings, seed=5)
+        plain = cross_validate_model(
+            _config(), tiny_dataset_5ch,
+            settings=replace(settings, workspaces=False), seed=5,
+        )
+        assert pooled == plain
+
+    def test_folds_share_a_process_local_pool(self, tiny_dataset_5ch):
+        from repro.nas import crossval
+        from repro.nas.crossval import clear_fold_workspaces
+
+        clear_fold_workspaces()
+        settings = TrainSettings(epochs=1, k=2, recalibrate_bn=False)
+        cross_validate_model(_config(), tiny_dataset_5ch, settings=settings, seed=1)
+        pool = crossval._FOLD_POOL
+        assert pool is not None and pool.misses > 0
+        misses_first = pool.misses
+        # Same geometry again: the warm pool serves everything from hits.
+        cross_validate_model(_config(), tiny_dataset_5ch, settings=settings, seed=1)
+        assert crossval._FOLD_POOL is pool
+        assert pool.misses == misses_first
+        clear_fold_workspaces()
+        assert crossval._FOLD_POOL is None
+
+    def test_explicit_executor_is_reused_not_closed(self, tiny_dataset_5ch):
+        from repro.parallel import SerialExecutor
+
+        settings = TrainSettings(epochs=1, k=2, recalibrate_bn=False)
+        executor = SerialExecutor()
+        via_executor = cross_validate_model(
+            _config(), tiny_dataset_5ch, settings=settings, seed=7, executor=executor
+        )
+        owned = cross_validate_model(_config(), tiny_dataset_5ch, settings=settings, seed=7)
+        assert via_executor == owned
+
+
 class TestTrainOneModel:
     def test_loss_decreases_on_tiny_dataset(self, tiny_dataset_5ch):
         model = build_model(_config(), seed=0)
@@ -62,6 +116,23 @@ class TestTrainingEvaluator:
                                       regions=["nebraska"])
         assert evaluator._dataset(5) is evaluator._dataset(5)
         assert evaluator._dataset(5) is not evaluator._dataset(7)
+
+    def test_evaluate_many_equals_sequential_evaluates(self):
+        evaluator = TrainingEvaluator(samples_per_class=2, patch_size=24, epochs=1, k=2,
+                                      regions=["nebraska"], seed=0)
+        configs = [_config(), _config(channels=7)]
+        batched = evaluator.evaluate_many(configs)
+        sequential = [evaluator.evaluate(c) for c in configs]
+        assert batched == sequential  # per-trial seeds are content-derived
+
+    def test_evaluate_many_process_pool_matches_serial(self):
+        serial = TrainingEvaluator(samples_per_class=2, patch_size=24, epochs=1, k=2,
+                                   regions=["nebraska"], seed=0)
+        with TrainingEvaluator(samples_per_class=2, patch_size=24, epochs=1, k=2,
+                               regions=["nebraska"], seed=0,
+                               executor="process", workers=2) as pooled:
+            configs = [_config(), _config(batch=8)]
+            assert pooled.evaluate_many(configs) == [serial.evaluate(c) for c in configs]
 
     def test_learns_better_than_chance_with_budget(self):
         # A slightly bigger run: the model must beat coin-flipping on

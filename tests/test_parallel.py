@@ -65,6 +65,20 @@ class TestProcessPool:
         with make_executor("process", workers=2) as pool:
             assert pool.map(_square, list(range(40))) == [x * x for x in range(40)]
 
+    def test_explicit_chunksize_clamped_to_spread(self):
+        # An oversized explicit chunksize on a tiny sweep must not ship
+        # every task to a single worker: it is capped at ceil(n / workers).
+        pool = ProcessPoolExecutorBackend(workers=4, chunksize=64)
+        assert pool._effective_chunksize(8) == 2
+        assert pool._effective_chunksize(3) == 1
+        assert pool._effective_chunksize(1000) == 64  # cap inactive when ample
+
+    def test_empty_map_returns_without_spawning(self):
+        pool = ProcessPoolExecutorBackend(workers=2)
+        assert pool.map(_square, []) == []
+        assert pool._pool is None  # no worker processes were started
+        pool.close()
+
 
 class TestChunking:
     @settings(max_examples=40, deadline=None)

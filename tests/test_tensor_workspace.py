@@ -1,0 +1,289 @@
+"""Workspace pool mechanics + bitwise equivalence of the pooled paths.
+
+The training substrate (PR: fold-parallel CV + workspace reuse) promises
+that pooled scratch buffers change *nothing* numerically: every op fully
+overwrites its buffers, so running under :func:`use_workspaces` must be
+bitwise identical to allocation-per-call.  The fuzzed checks below drive
+:func:`repro.tensor.grad_check.check_backend_consistency` across random
+conv/pool/batch-norm geometries with real padding and stride.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tensor import Tensor, WorkspacePool, active_pool, use_workspaces, workspaces_enabled
+from repro.tensor import conv_ops
+from repro.tensor import functional as F
+from repro.tensor.grad_check import check_backend_consistency, check_gradients
+from repro.tensor.tensor import no_grad
+
+
+class TestWorkspacePool:
+    def test_miss_then_hit(self):
+        pool = WorkspacePool()
+        a = pool.acquire((3, 4))
+        assert pool.misses == 1 and pool.hits == 0
+        pool.release(a)
+        b = pool.acquire((3, 4))
+        assert b is a  # the exact buffer comes back
+        assert pool.hits == 1
+
+    def test_shape_keyed(self):
+        pool = WorkspacePool()
+        a = pool.acquire((2, 2))
+        pool.release(a)
+        b = pool.acquire((4,))  # different shape: a fresh allocation
+        assert b is not a
+        assert pool.misses == 2
+
+    def test_live_buffers_never_alias(self):
+        pool = WorkspacePool()
+        a = pool.acquire((5,))
+        b = pool.acquire((5,))
+        assert a is not b
+
+    def test_stats_and_clear(self):
+        pool = WorkspacePool()
+        buf = pool.acquire((8, 8))
+        pool.release(buf)
+        stats = pool.stats()
+        assert stats["peak_bytes"] == buf.nbytes
+        assert stats["free_bytes"] == buf.nbytes
+        assert stats["shapes"] == 1
+        pool.clear()
+        assert pool.free_bytes() == 0
+
+    def test_context_activation_and_nesting(self):
+        assert not workspaces_enabled()
+        outer = WorkspacePool()
+        inner = WorkspacePool()
+        with use_workspaces(outer):
+            assert workspaces_enabled()
+            assert active_pool() is outer
+            with use_workspaces(inner):
+                assert active_pool() is inner
+            assert active_pool() is outer
+        assert not workspaces_enabled()
+
+    def test_null_pool_outside_context(self):
+        # Outside a context, acquire is plain allocation and release a no-op.
+        pool = active_pool()
+        a = pool.acquire((2, 3))
+        assert a.shape == (2, 3) and a.dtype == np.float32
+        pool.release(a)
+        assert pool.acquire((2, 3)) is not a
+
+
+def _ws_contexts():
+    """Context factories for bitwise comparison: plain vs pooled."""
+    return (contextlib.nullcontext, use_workspaces, use_workspaces)
+
+
+class TestBitwiseEquivalence:
+    """Fuzzed: pooled execution == allocation-per-call, bit for bit."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(1, 4),
+        c_in=st.integers(1, 4),
+        c_out=st.integers(1, 5),
+        size=st.integers(5, 12),
+        kernel=st.integers(1, 4),
+        stride=st.integers(1, 3),
+        padding=st.integers(0, 2),
+        data=st.integers(0, 2**31 - 1),
+    )
+    def test_conv2d_fuzzed(self, n, c_in, c_out, size, kernel, stride, padding, data):
+        if conv_ops.conv_output_size(size, kernel, stride, padding) < 1:
+            return  # degenerate geometry, rejected by conv2d itself
+        rng = np.random.default_rng(data)
+        x = Tensor(rng.standard_normal((n, c_in, size, size), dtype=np.float32), requires_grad=True)
+        w = Tensor(rng.standard_normal((c_out, c_in, kernel, kernel), dtype=np.float32),
+                   requires_grad=True)
+        b = Tensor(rng.standard_normal((c_out,), dtype=np.float32), requires_grad=True)
+        check_backend_consistency(
+            lambda ts: conv_ops.conv2d(ts[0], ts[1], ts[2], stride=stride, padding=padding),
+            [x, w, b],
+            contexts=_ws_contexts(),
+        )
+
+    def test_conv2d_padded_strided_gradients(self):
+        # The clipped col2im scatter (no padded staging buffer) against
+        # central differences, on both GEMM layouts.
+        rng = np.random.default_rng(7)
+        for n in (1, 3):  # n=1 -> batched layout, n=3 -> merged layout
+            x = Tensor(rng.standard_normal((n, 2, 7, 7), dtype=np.float32), requires_grad=True)
+            w = Tensor(0.3 * rng.standard_normal((3, 2, 3, 3), dtype=np.float32),
+                       requires_grad=True)
+            b = Tensor(rng.standard_normal((3,), dtype=np.float32), requires_grad=True)
+            check_gradients(
+                lambda ts: conv_ops.conv2d(ts[0], ts[1], ts[2], stride=2, padding=1),
+                [x, w, b],
+            )
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        size=st.integers(4, 10),
+        kernel=st.integers(1, 3),
+        stride=st.integers(1, 3),
+        maxpool=st.booleans(),
+        data=st.integers(0, 2**31 - 1),
+    )
+    def test_pooling_fuzzed(self, size, kernel, stride, maxpool, data):
+        if conv_ops.pool_output_size(size, kernel, stride) < 1:
+            return
+        rng = np.random.default_rng(data)
+        op = conv_ops.max_pool2d if maxpool else conv_ops.avg_pool2d
+        x = Tensor(rng.standard_normal((2, 3, size, size), dtype=np.float32), requires_grad=True)
+        check_backend_consistency(
+            lambda ts: op(ts[0], kernel, stride), [x], contexts=_ws_contexts()
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(training=st.booleans(), data=st.integers(0, 2**31 - 1))
+    def test_batch_norm_fuzzed(self, training, data):
+        rng = np.random.default_rng(data)
+        x = Tensor(rng.standard_normal((3, 4, 5, 5), dtype=np.float32), requires_grad=True)
+        gamma = Tensor(rng.standard_normal((4,), dtype=np.float32), requires_grad=True)
+        beta = Tensor(rng.standard_normal((4,), dtype=np.float32), requires_grad=True)
+        mean0 = rng.standard_normal(4).astype(np.float32)
+        var0 = rng.random(4).astype(np.float32) + 0.5
+
+        def fn(ts):
+            # Fresh running buffers per run so the EMA update (an output
+            # too) is also compared bitwise across contexts.
+            rm, rv = mean0.copy(), var0.copy()
+            return F.batch_norm_2d(ts[0], ts[1], ts[2], rm, rv, training=training)
+
+        check_backend_consistency(fn, [x, gamma, beta], contexts=_ws_contexts())
+
+    def test_composite_block(self):
+        # conv -> BN -> relu -> pool: closures release buffers in tape
+        # order; the whole block must stay bitwise stable under pooling.
+        rng = np.random.default_rng(11)
+        x = Tensor(rng.standard_normal((2, 3, 12, 12), dtype=np.float32), requires_grad=True)
+        w = Tensor(0.2 * rng.standard_normal((4, 3, 3, 3), dtype=np.float32), requires_grad=True)
+        gamma = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+        beta = Tensor(np.zeros(4, dtype=np.float32), requires_grad=True)
+        rm = np.zeros(4, dtype=np.float32)
+        rv = np.ones(4, dtype=np.float32)
+
+        def block(ts):
+            y = conv_ops.conv2d(ts[0], ts[1], None, stride=2, padding=1)
+            y = F.batch_norm_2d(y, ts[2], ts[3], rm.copy(), rv.copy(), training=True)
+            y = y.relu()
+            return conv_ops.max_pool2d(y, 2, 2)
+
+        check_backend_consistency(block, [x, w, gamma, beta], contexts=_ws_contexts())
+
+
+class TestPoolDiscipline:
+    """Buffers flow back: no leaks from closures, donation or fast paths."""
+
+    def _conv_inputs(self, requires_grad=True):
+        rng = np.random.default_rng(3)
+        x = Tensor(rng.standard_normal((2, 3, 10, 10), dtype=np.float32),
+                   requires_grad=requires_grad)
+        w = Tensor(rng.standard_normal((4, 3, 3, 3), dtype=np.float32),
+                   requires_grad=requires_grad)
+        b = Tensor(rng.standard_normal((4,), dtype=np.float32), requires_grad=requires_grad)
+        return x, w, b
+
+    def test_inference_mode_keeps_no_closure_and_recycles(self):
+        x, w, b = self._conv_inputs(requires_grad=True)
+        pool = WorkspacePool()
+        with use_workspaces(pool), no_grad():
+            out = conv_ops.conv2d(x, w, b, stride=2, padding=1)
+        assert out._backward is None  # nothing pins the column matrix
+        # Everything acquired during the forward is back on the free list.
+        assert pool.free_bytes() == pool.peak_bytes
+
+    def test_backward_returns_all_buffers_for_non_leaf_inputs(self):
+        # When the conv input is itself an intermediate, its donated
+        # gradient buffer is released after the consuming closure ran.
+        x, w, b = self._conv_inputs()
+        x.requires_grad = False  # leaf image batch, as in training
+        pool = WorkspacePool()
+        with use_workspaces(pool):
+            y = conv_ops.conv2d(x, w, b, stride=2, padding=1)
+            z = y.relu()
+            z.sum().backward()
+        assert pool.free_bytes() == pool.peak_bytes
+        assert y.grad is None  # intermediate grads are not retained
+
+    def test_donated_leaf_gradient_is_correct(self):
+        # A leaf that requires grad may adopt a pooled buffer; values
+        # must match the allocation-per-call run exactly.
+        for ws in (False, True):
+            x, w, b = self._conv_inputs()
+            ctx = use_workspaces() if ws else contextlib.nullcontext()
+            with ctx:
+                conv_ops.conv2d(x, w, b, stride=2, padding=1).sum().backward()
+            if ws:
+                got = (x.grad.copy(), w.grad.copy(), b.grad.copy())
+            else:
+                want = (x.grad.copy(), w.grad.copy(), b.grad.copy())
+        for g, e in zip(got, want):
+            np.testing.assert_array_equal(g, e)
+
+    def test_double_consumer_accumulation(self):
+        # Two relu branches donate into the same tensor: the first
+        # donation is adopted, the second is added and recycled.
+        data = np.array([[-1.0, 2.0], [3.0, -4.0]], dtype=np.float32)
+        x = Tensor(data, requires_grad=True)
+        with use_workspaces():
+            (x.relu().sum() + x.relu().sum()).backward()
+        np.testing.assert_array_equal(
+            x.grad, np.array([[0.0, 2.0], [2.0, 0.0]], dtype=np.float32)
+        )
+
+    def test_steady_state_training_reuses_buffers(self):
+        # Second identical step must be all hits: shapes repeat, buffers
+        # recycle, and the footprint stops growing (the leak guard).
+        x, w, b = self._conv_inputs()
+        x.requires_grad = False
+        pool = WorkspacePool()
+
+        def step():
+            with use_workspaces(pool):
+                y = conv_ops.conv2d(x, w, b, stride=2, padding=1).relu()
+                y.sum().backward()
+            w.zero_grad()
+            b.zero_grad()
+
+        step()
+        misses_first, free_first = pool.misses, pool.free_bytes()
+        step()
+        assert pool.misses == misses_first
+        assert pool.free_bytes() == free_first
+
+
+class TestScatterBounds:
+    """The clipped col2im ranges match the padded-buffer formulation."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        in_len=st.integers(1, 16),
+        kernel=st.integers(1, 5),
+        stride=st.integers(1, 4),
+        padding=st.integers(0, 3),
+    )
+    def test_bounds_agree_with_direct_enumeration(self, in_len, kernel, stride, padding):
+        out_len = conv_ops.conv_output_size(in_len, kernel, stride, padding)
+        if out_len < 1 or kernel > in_len + 2 * padding:
+            return
+        for offset in range(kernel):
+            t0, t1 = conv_ops._scatter_axis_bounds(offset, padding, stride, out_len, in_len)
+            valid = [
+                t for t in range(out_len) if 0 <= offset - padding + stride * t < in_len
+            ]
+            if not valid:
+                assert t1 < t0
+            else:
+                assert (t0, t1) == (valid[0], valid[-1])
+                assert valid == list(range(t0, t1 + 1))
