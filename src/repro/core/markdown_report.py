@@ -40,6 +40,41 @@ _FRONT_COLUMNS = ("channels", "batch", "accuracy", "latency_ms", "lat_std", "mem
                   "kernel_size", "stride", "padding", "pool_choice", "initial_output_feature")
 
 
+def _fault_tolerance_section(result: PipelineResult) -> list[str]:
+    """Retry/failure/degradation accounting from the trial records.
+
+    Computed from the store itself (``attempts`` / ``error_kind`` /
+    ``skipped_devices`` are persisted per record), so the section also
+    renders correctly for stores reloaded from disk; quarantined-line
+    counts come from the store's last crash-safe ``load``.
+    """
+    records = result.store.records()
+    retried = [r for r in records if r.attempts > 1]
+    recovered = sum(1 for r in retried if r.ok)
+    failures: dict[str, int] = {}
+    for r in records:
+        if not r.ok:
+            kind = r.error_kind or "failed"
+            failures[kind] = failures.get(kind, 0) + 1
+    skipped_devices = sum(len(r.skipped_devices) for r in records)
+    quarantined = len(getattr(result.store, "quarantined", ()))
+    parts = ["\n## Fault tolerance\n"]
+    rows = [
+        {"quantity": "trials retried", "value": len(retried)},
+        {"quantity": "extra attempts", "value": sum(r.attempts - 1 for r in retried)},
+        {"quantity": "recovered by retry", "value": recovered},
+        {"quantity": "deadline exceeded", "value": failures.get("deadline", 0)},
+        {"quantity": "device predictions skipped", "value": skipped_devices},
+        {"quantity": "store lines quarantined", "value": quarantined},
+    ]
+    rows.extend(
+        {"quantity": f"failed ({kind})", "value": count}
+        for kind, count in sorted(failures.items())
+    )
+    parts.append(_md_table(rows))
+    return parts
+
+
 def sweep_markdown(result: PipelineResult, include_baseline: bool = True) -> str:
     """The full markdown report for one sweep result."""
     parts: list[str] = ["# Sweep report (paper vs measured)\n"]
@@ -49,6 +84,8 @@ def sweep_markdown(result: PipelineResult, include_baseline: bool = True) -> str
         {"quantity": "launched", "measured": result.launched, "paper": TOTAL_TRIALS},
         {"quantity": "valid outcomes", "measured": result.valid_outcomes, "paper": VALID_OUTCOMES},
     ]))
+
+    parts.extend(_fault_tolerance_section(result))
 
     parts.append("\n## Objective ranges (Table 3)\n")
     ranges = result.pareto.ranges()

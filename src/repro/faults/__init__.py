@@ -1,0 +1,36 @@
+"""Deterministic fault injection for sweeps, pools and stores.
+
+Generalizes :mod:`repro.nas.failures` (the paper's 11-of-1,728 preset)
+into a full chaos harness: typed exceptions, latency spikes, per-trial
+hangs (for deadline tests), worker kills and store-line corruption, all
+driven by a seeded schedule so every chaos test is exactly repeatable.
+
+The harness *proves* the fault-tolerance layer: `tests/test_chaos_resume.py`
+injects transients, a worker kill and a truncated store tail into one
+sweep and asserts the recovered, resumed results are bitwise-equal to a
+fault-free serial run.
+"""
+
+from repro.faults.harness import (
+    Fault,
+    FaultKind,
+    FaultPlan,
+    FaultyEvaluator,
+    InjectedPermanentError,
+    InjectedTransientError,
+    KillSwitch,
+    corrupt_store_tail,
+    interrupt_after,
+)
+
+__all__ = [
+    "Fault",
+    "FaultKind",
+    "FaultPlan",
+    "FaultyEvaluator",
+    "InjectedPermanentError",
+    "InjectedTransientError",
+    "KillSwitch",
+    "corrupt_store_tail",
+    "interrupt_after",
+]

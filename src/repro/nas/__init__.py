@@ -15,7 +15,14 @@ This subpackage reproduces that machinery:
   search strategies;
 - :mod:`~repro.nas.experiment` — the trial runner: scheduling, failure
   injection, latency/memory measurement, result storage;
-- :mod:`~repro.nas.storage` — JSONL-backed trial database.
+- :mod:`~repro.nas.retry` — trial error taxonomy, seeded retry/backoff
+  policy and cooperative per-trial deadlines;
+- :mod:`~repro.nas.storage` — JSONL-backed trial database with
+  crash-safe reload (tail quarantine) and a resume-verified run
+  manifest.
+
+The deterministic chaos harness that exercises this stack lives in
+:mod:`repro.faults`.
 """
 
 from repro.nas.config import ModelConfig, CHANNEL_CHOICES, BATCH_CHOICES
@@ -33,7 +40,16 @@ from repro.nas.multifidelity import (
     successive_halving,
 )
 from repro.nas.experiment import Experiment, ExperimentResult
-from repro.nas.storage import TrialStore
+from repro.nas.retry import (
+    Deadline,
+    ErrorKind,
+    PermanentTrialError,
+    RetryPolicy,
+    TransientTrialError,
+    TrialDeadlineExceeded,
+    classify_error,
+)
+from repro.nas.storage import ResumeMismatchError, RunManifest, StoreCorruptionError, TrialStore
 from repro.nas.failures import FailureInjector
 from repro.nas.crossval import cross_validate_model, TrainSettings
 
@@ -65,7 +81,17 @@ __all__ = [
     "Experiment",
     "ExperimentResult",
     "TrialStore",
+    "RunManifest",
+    "ResumeMismatchError",
+    "StoreCorruptionError",
     "FailureInjector",
+    "RetryPolicy",
+    "ErrorKind",
+    "Deadline",
+    "TransientTrialError",
+    "PermanentTrialError",
+    "TrialDeadlineExceeded",
+    "classify_error",
     "cross_validate_model",
     "TrainSettings",
 ]

@@ -82,6 +82,14 @@ class TrainSettings:
     workspaces: bool = True
     executor: str = "serial"
     workers: int | None = None
+    #: Fault isolation for the fold map: route folds through
+    #: :meth:`repro.parallel.Executor.map_resilient` so one crashed or
+    #: poisoned fold degrades the CV estimate (surviving folds are
+    #: aggregated, the failure is logged) instead of sinking the trial.
+    resilient: bool = False
+    #: Minimum surviving folds ``resilient`` mode accepts before the
+    #: trial is failed outright (a 1-fold "CV" is not an estimate).
+    min_folds: int = 1
 
 
 def recalibrate_batchnorm(
@@ -242,7 +250,13 @@ def cross_validate_model(
         are derived per key before dispatch, so every backend returns
         the same accuracies bit for bit.
 
-    Returns the k fold accuracies in percent.
+    Returns the k fold accuracies in percent.  With
+    ``settings.resilient`` the map is fault-isolated: folds that raise
+    (or whose pool worker dies) are skipped with a warning and the
+    surviving accuracies are returned, unless fewer than
+    ``settings.min_folds`` survive — then a
+    :class:`~repro.nas.retry.PermanentTrialError` reports every fold
+    failure.
     """
     if dataset.channels != config.channels:
         raise ValueError(
@@ -263,6 +277,30 @@ def cross_validate_model(
         for fold_idx, (train_idx, val_idx) in enumerate(folds)
     ]
     if executor is not None:
-        return list(executor.map(_run_fold, tasks))
+        return _map_folds(executor, tasks, settings)
     with make_executor(settings.executor, workers=settings.workers, chunksize=1) as owned:
-        return list(owned.map(_run_fold, tasks))
+        return _map_folds(owned, tasks, settings)
+
+
+def _map_folds(executor: Executor, tasks: list[_FoldTask], settings: TrainSettings) -> list[float]:
+    """Dispatch the fold tasks, honoring ``settings.resilient``."""
+    if not settings.resilient:
+        return list(executor.map(_run_fold, tasks))
+    from repro.nas.retry import PermanentTrialError
+    from repro.utils.logging import get_logger
+
+    results = executor.map_resilient(_run_fold, tasks)
+    survivors = [r.value for r in results if r.ok]
+    failed = [r for r in results if not r.ok]
+    if failed:
+        log = get_logger("nas.crossval")
+        for r in failed:
+            log.warning("fold %d failed (%s): %s — aggregating surviving folds",
+                        r.index, r.error_type, r.error)
+    if len(survivors) < max(settings.min_folds, 1):
+        details = "; ".join(f"fold {r.index}: {r.error_type}: {r.error}" for r in failed)
+        raise PermanentTrialError(
+            f"only {len(survivors)}/{len(tasks)} folds survived "
+            f"(min_folds={settings.min_folds}): {details}"
+        )
+    return survivors

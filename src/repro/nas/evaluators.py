@@ -18,7 +18,7 @@ from typing import Sequence
 from repro.data.dataset import DrainageCrossingDataset
 from repro.nas.config import ModelConfig
 from repro.nas.crossval import TrainSettings, cross_validate_model
-from repro.parallel.executor import Executor, make_executor
+from repro.parallel.executor import Executor, MapItemResult, make_executor
 from repro.utils.rng import stable_hash
 
 __all__ = ["EvalResult", "AccuracyEvaluator", "TrainingEvaluator"]
@@ -166,6 +166,24 @@ class TrainingEvaluator(AccuracyEvaluator):
             self.settings.executor, workers=self.settings.workers, chunksize=1
         ) as executor:
             return list(executor.map(_evaluate_trial, tasks))
+
+    def evaluate_many_resilient(self, configs: Sequence[ModelConfig]) -> list["MapItemResult"]:
+        """Fault-isolated :meth:`evaluate_many`: one result per trial.
+
+        Uses :meth:`repro.parallel.Executor.map_resilient`, so a trial
+        that raises — or whose pool worker dies — yields a failed
+        :class:`~repro.parallel.MapItemResult` while every other trial
+        still returns its :class:`EvalResult` (in ``.value``).  Killed
+        worker pools are respawned and their in-flight trials requeued;
+        repeated pool deaths degrade the map to serial execution.
+        Successful values are bitwise-identical to :meth:`evaluate_many`
+        (per-trial seeds are content-derived, not order-derived).
+        """
+        tasks = [(self, config) for config in configs]
+        with make_executor(
+            self.settings.executor, workers=self.settings.workers, chunksize=1
+        ) as executor:
+            return executor.map_resilient(_evaluate_trial, tasks)
 
 
 def _evaluate_trial(task: tuple[TrainingEvaluator, ModelConfig]) -> EvalResult:

@@ -20,22 +20,26 @@ evaluation.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable
+
+import numpy as np
 
 from repro.graph.flops import count_graph_flops
 from repro.graph.trace import trace_model
-from repro.latency.devices import DEVICE_PROFILES, DeviceProfile
-from repro.latency.predictors import predict_all_devices
+from repro.latency.devices import DEVICE_PROFILES, DeviceProfile, kernel_latency_ms
+from repro.latency.kernels import extract_kernels
 from repro.nas.config import ModelConfig
 from repro.nas.evaluators import AccuracyEvaluator
 from repro.nas.failures import FailureInjector
-from repro.nas.storage import TrialStore
+from repro.nas.retry import ErrorKind, PermanentTrialError, RetryPolicy, run_with_retry
+from repro.nas.storage import RunManifest, TrialStore
 from repro.nas.strategies import SearchStrategy
 from repro.nas.trial import TrialRecord, TrialStatus
 from repro.nn.resnet import build_model
 from repro.onnxlite.export import export_model
 from repro.utils.logging import get_logger
+from repro.utils.rng import stable_hash
 
 __all__ = ["Experiment", "ExperimentResult", "ArchitectureMetrics", "measure_architecture"]
 
@@ -44,7 +48,12 @@ _LOG = get_logger("nas.experiment")
 
 @dataclass(frozen=True)
 class ArchitectureMetrics:
-    """Architecture-dependent (accuracy-independent) measurements."""
+    """Architecture-dependent (accuracy-independent) measurements.
+
+    ``skipped_devices`` names device predictors that raised during
+    measurement and were excluded from the latency aggregation
+    (graceful degradation: one broken predictor must not lose a trial).
+    """
 
     per_device_ms: dict[str, float]
     latency_ms: float
@@ -52,6 +61,7 @@ class ArchitectureMetrics:
     memory_mb: float
     param_count: int
     flops: int
+    skipped_devices: tuple[str, ...] = ()
 
 
 def measure_architecture(
@@ -59,18 +69,46 @@ def measure_architecture(
     input_hw: tuple[int, int] = (100, 100),
     profiles: dict[str, DeviceProfile] | None = None,
 ) -> ArchitectureMetrics:
-    """Latency (4 devices), memory, params and FLOPs for one architecture."""
+    """Latency (4 devices), memory, params and FLOPs for one architecture.
+
+    Device predictors degrade gracefully: a predictor that raises is
+    skipped (recorded in ``skipped_devices``, warning logged) and the
+    latency mean/std aggregate over the survivors — matching
+    :func:`~repro.latency.predictors.predict_all_devices` bit for bit
+    when nothing fails.  Only when *every* predictor fails does the
+    measurement raise (:class:`~repro.nas.retry.PermanentTrialError`).
+    """
     model = build_model(config, seed=0)
     graph = trace_model(model, input_hw=input_hw)
-    summary = predict_all_devices(graph, profiles=profiles)
+    profiles = DEVICE_PROFILES if profiles is None else profiles
+    kernels = extract_kernels(graph)
+    per_device: dict[str, float] = {}
+    skipped: list[str] = []
+    errors: list[str] = []
+    for name, profile in profiles.items():
+        try:
+            per_device[name] = float(sum(kernel_latency_ms(k, profile) for k in kernels))
+        except (KeyboardInterrupt, SystemExit, MemoryError):
+            raise
+        except Exception as exc:  # noqa: BLE001 - one device must not lose the trial
+            skipped.append(name)
+            errors.append(f"{name}: {type(exc).__name__}: {exc}")
+            _LOG.warning("device predictor %r failed (%s: %s); aggregating without it",
+                         name, type(exc).__name__, exc)
+    if not per_device:
+        raise PermanentTrialError(
+            "all device predictors failed for this architecture: " + "; ".join(errors)
+        )
     memory_mb = len(export_model(model, input_hw=input_hw)) / 1e6
+    values = list(per_device.values())
     return ArchitectureMetrics(
-        per_device_ms=summary.per_device_ms,
-        latency_ms=summary.mean_ms,
-        lat_std=summary.std_ms,
+        per_device_ms=per_device,
+        latency_ms=float(np.mean(values)),
+        lat_std=float(np.std(values)),
         memory_mb=memory_mb,
         param_count=sum(p.size for p in model.parameters()),
         flops=count_graph_flops(graph),
+        skipped_devices=tuple(skipped),
     )
 
 
@@ -84,6 +122,9 @@ class ExperimentResult:
     failed: int
     duration_s: float
     skipped: int = 0  # resumed trials served from the store
+    retried: int = 0  # trials that needed more than one attempt
+    total_retries: int = 0  # extra attempts summed over all trials
+    deadline_exceeded: int = 0  # trials failed by their wall-clock budget
 
     @property
     def valid_outcomes(self) -> int:
@@ -117,7 +158,19 @@ class Experiment:
     skip_existing:
         Skip configurations already present in ``store`` (resume support:
         load a JSONL store from an interrupted sweep and re-run with the
-        same strategy; completed trials are not re-evaluated).
+        same strategy; completed trials are not re-evaluated).  When the
+        store is file-backed, resume first verifies the store's run
+        manifest (strategy, seeds, search-space hash) and refuses to mix
+        records from a different sweep
+        (:class:`~repro.nas.storage.ResumeMismatchError`).
+    retry_policy:
+        Transient-failure retry/deadline policy
+        (:class:`~repro.nas.retry.RetryPolicy`); the default retries
+        transients up to 3 attempts with seeded backoff and no deadline.
+        Unexpected exceptions no longer abort the sweep: they are
+        classified by :func:`~repro.nas.retry.classify_error` and
+        captured (with traceback) into the trial record — only fatal
+        errors (Ctrl-C, ``MemoryError``) propagate.
     progress:
         Optional callback ``(done, total, record)`` for UIs/logging.
     """
@@ -133,6 +186,7 @@ class Experiment:
         latency_jitter: float = 0.006,
         jitter_seed: int = 0,
         skip_existing: bool = False,
+        retry_policy: RetryPolicy | None = None,
         progress: Callable[[int, int, TrialRecord], None] | None = None,
     ) -> None:
         if latency_jitter < 0:
@@ -146,6 +200,7 @@ class Experiment:
         self.latency_jitter = latency_jitter
         self.jitter_seed = jitter_seed
         self.skip_existing = skip_existing
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self.progress = progress
         self._arch_cache: dict[tuple[int, ...], ArchitectureMetrics] = {}
 
@@ -153,19 +208,13 @@ class Experiment:
         """Apply per-trial measurement noise to the latency figures."""
         if self.latency_jitter == 0:
             return metrics
-        import numpy as np
-
-        from repro.utils.rng import stable_hash
-
         rng = np.random.default_rng(stable_hash(self.jitter_seed, "lat-jitter", config.to_dict()))
         scale = float(np.clip(1.0 + rng.normal(0.0, self.latency_jitter), 0.97, 1.03))
-        return ArchitectureMetrics(
+        return replace(
+            metrics,
             per_device_ms={k: v * scale for k, v in metrics.per_device_ms.items()},
             latency_ms=metrics.latency_ms * scale,
             lat_std=metrics.lat_std * scale,
-            memory_mb=metrics.memory_mb,
-            param_count=metrics.param_count,
-            flops=metrics.flops,
         )
 
     def _metrics_for(self, config: ModelConfig) -> ArchitectureMetrics:
@@ -177,7 +226,15 @@ class Experiment:
         return self._arch_cache[key]
 
     def run_trial(self, trial_id: int, config: ModelConfig) -> TrialRecord:
-        """Evaluate one configuration into a :class:`TrialRecord`."""
+        """Evaluate one configuration into a :class:`TrialRecord`.
+
+        Never raises for trial-level problems: transient errors are
+        retried under :attr:`retry_policy` (deterministic seeded
+        backoff, optional per-trial wall-clock deadline), permanent and
+        unexpected errors are captured — type, message, traceback,
+        attempt count — into a failed record.  Only fatal errors
+        (Ctrl-C, ``MemoryError``) propagate and stop the sweep.
+        """
         started = time.perf_counter()
         if self.failure_injector.fails(trial_id):
             return TrialRecord(
@@ -185,19 +242,35 @@ class Experiment:
                 config=config,
                 status=TrialStatus.FAILED,
                 error="injected trial failure (paper reports 1,717/1,728 valid outcomes)",
+                error_kind="injected",
                 duration_s=time.perf_counter() - started,
             )
-        try:
+        on_attempt = getattr(self.failure_injector, "on_attempt", None)
+
+        def _attempt(attempt: int) -> tuple[ArchitectureMetrics, object]:
+            if on_attempt is not None:  # chaos harness hook (repro.faults)
+                on_attempt(trial_id, attempt)
             metrics = self._jittered(self._metrics_for(config), config)
             result = self.evaluator.evaluate(config)
-        except (ValueError, KeyError) as exc:
+            return metrics, result
+
+        outcome = run_with_retry(
+            _attempt, self.retry_policy, key=("trial", trial_id), logger=_LOG
+        )
+        if not outcome.ok:
+            status = TrialStatus.FAILED
             return TrialRecord(
                 trial_id=trial_id,
                 config=config,
-                status=TrialStatus.FAILED,
-                error=f"{type(exc).__name__}: {exc}",
+                status=status,
+                error=outcome.error,
+                error_kind=outcome.error_kind,
+                traceback="" if outcome.error_kind == ErrorKind.DEADLINE.value
+                else outcome.traceback,
+                attempts=outcome.attempts,
                 duration_s=time.perf_counter() - started,
             )
+        metrics, result = outcome.value
         return TrialRecord(
             trial_id=trial_id,
             config=config,
@@ -211,15 +284,58 @@ class Experiment:
             param_count=metrics.param_count,
             flops=metrics.flops,
             duration_s=time.perf_counter() - started,
+            attempts=outcome.attempts,
+            skipped_devices=metrics.skipped_devices,
+        )
+
+    def run_manifest(self) -> RunManifest:
+        """The identity manifest of this experiment's sweep.
+
+        Captures everything that must match for a resumed run to
+        reproduce the skipped trials: strategy class, search-space hash
+        (when the strategy exposes ``.space``), evaluator class and
+        seed, jitter settings, injector schedule and input size.
+        """
+        space = getattr(self.strategy, "space", None)
+        seeds = {"jitter_seed": int(self.jitter_seed)}
+        evaluator_seed = getattr(self.evaluator, "seed", None)
+        if isinstance(evaluator_seed, (int, np.integer)):
+            seeds["evaluator_seed"] = int(evaluator_seed)
+        injector = self.failure_injector
+        injector_desc = getattr(injector, "describe", None)
+        if callable(injector_desc):
+            injector_text = str(injector_desc())
+        else:
+            injector_text = (
+                f"{type(injector).__name__}(total={getattr(injector, 'total', '?')}, "
+                f"failed={sorted(getattr(injector, 'failed_indices', ()))})"
+            )
+        return RunManifest(
+            strategy=type(self.strategy).__name__,
+            space_hash=stable_hash("search-space", repr(space)) if space is not None else 0,
+            seeds=seeds,
+            input_hw=tuple(self.input_hw),
+            latency_jitter=self.latency_jitter,
+            injector=injector_text,
+            evaluator=type(self.evaluator).__name__,
         )
 
     def run(self, budget: int) -> ExperimentResult:
         """Propose-and-evaluate up to ``budget`` trials."""
         if budget < 1:
             raise ValueError(f"budget must be >= 1, got {budget}")
+        if self.store.path is not None:
+            # Resume gate: refuse to skip trials recorded under different
+            # sweep settings; first runs write the manifest for later
+            # resumes.  (Verification is strict only when resuming.)
+            manifest = self.run_manifest()
+            if self.skip_existing:
+                self.store.verify_or_write_manifest(manifest)
+            elif self.store.read_manifest() is None:
+                self.store.write_manifest(manifest)
         started = time.perf_counter()
         launched = succeeded = failed = 0
-        skipped = 0
+        skipped = retried = total_retries = deadline_exceeded = 0
         proposals: Iterable[ModelConfig] = self.strategy.propose(budget)
         for trial_id, config in enumerate(proposals):
             if self.skip_existing:
@@ -232,12 +348,19 @@ class Experiment:
             record = self.run_trial(trial_id, config)
             self.store.add(record)
             launched += 1
+            if record.attempts > 1:
+                retried += 1
+                total_retries += record.attempts - 1
+            if record.error_kind == ErrorKind.DEADLINE.value:
+                deadline_exceeded += 1
             if record.ok:
                 succeeded += 1
                 self.strategy.observe_record(config, record)
             else:
                 failed += 1
-                _LOG.debug("trial %d failed: %s", trial_id, record.error)
+                _LOG.debug("trial %d failed (%s after %d attempts): %s",
+                           trial_id, record.error_kind or "failed", record.attempts,
+                           record.error)
             if self.progress is not None:
                 self.progress(launched, budget, record)
         return ExperimentResult(
@@ -247,4 +370,7 @@ class Experiment:
             failed=failed,
             duration_s=time.perf_counter() - started,
             skipped=skipped,
+            retried=retried,
+            total_retries=total_retries,
+            deadline_exceeded=deadline_exceeded,
         )

@@ -6,6 +6,14 @@ structurally invalid configs for 100x100 inputs — see DESIGN.md).  The
 injector reproduces that effect deterministically: a seeded hash marks a
 fixed subset of trial indices as failed, and 'paper mode' picks exactly
 11 of 1,728.
+
+This module is the minimal, paper-faithful injector.  The general chaos
+harness — typed transient exceptions, latency spikes, deadline-testing
+hangs, worker kills, store-tail corruption — lives in
+:mod:`repro.faults`; its :meth:`repro.faults.FaultPlan.paper_mode`
+preset selects the *same* 11 trial indices as this injector for the same
+seed (it delegates to :meth:`FailureInjector.paper_mode`), so either can
+drive the paper accounting.
 """
 
 from __future__ import annotations
@@ -57,3 +65,18 @@ class FailureInjector:
     def failed_indices(self) -> frozenset[int]:
         """The injected failure set."""
         return self._failed
+
+    def describe(self) -> str:
+        """Stable one-line identity (used by the store's run manifest)."""
+        return (
+            f"FailureInjector(total={self.total}, failures={self.failures}, "
+            f"failed={sorted(self._failed)})"
+        )
+
+    def to_fault_plan(self) -> "object":
+        """The equivalent :class:`repro.faults.FaultPlan` (same trial set)."""
+        from repro.faults import Fault, FaultKind, FaultPlan  # lazy: avoid cycle
+
+        return FaultPlan(
+            (Fault(FaultKind.TRIAL_FAILURE, t) for t in sorted(self._failed)),
+        )

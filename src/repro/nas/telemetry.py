@@ -33,6 +33,16 @@ class RunTelemetry:
     failures: int = 0
     total: int = 0
     log_every: int = 0  # 0 disables live printing
+    #: Fault-tolerance counters (see :mod:`repro.nas.retry`): trials
+    #: that needed >1 attempt, extra attempts summed, trials recovered
+    #: by retry (ok after >1 attempt), per-error-kind failure counts,
+    #: and device predictors skipped by graceful degradation.
+    retried_trials: int = 0
+    total_retries: int = 0
+    recovered_trials: int = 0
+    deadline_exceeded: int = 0
+    failures_by_kind: dict = field(default_factory=dict)
+    skipped_device_measurements: int = 0
     _done: int = 0
 
     def __call__(self, done: int, total: int, record: TrialRecord) -> None:
@@ -40,8 +50,18 @@ class RunTelemetry:
         self._done = done
         self.total = total
         self.durations.append(record.duration_s)
+        if record.attempts > 1:
+            self.retried_trials += 1
+            self.total_retries += record.attempts - 1
+            if record.ok:
+                self.recovered_trials += 1
+        self.skipped_device_measurements += len(record.skipped_devices)
         if not record.ok:
             self.failures += 1
+            kind = record.error_kind or "failed"
+            self.failures_by_kind[kind] = self.failures_by_kind.get(kind, 0) + 1
+            if kind == "deadline":
+                self.deadline_exceeded += 1
         if self.log_every and done % self.log_every == 0:
             print(f"  [{done}/{total}] {self.eta_line()}")
 
@@ -74,11 +94,24 @@ class RunTelemetry:
             f"{self.failures} failed"
         )
 
+    def fault_line(self) -> str:
+        """One-line fault-tolerance summary (retries, recoveries, kinds)."""
+        kinds = ", ".join(f"{k}={v}" for k, v in sorted(self.failures_by_kind.items()))
+        return (
+            f"{self.retried_trials} trials retried ({self.total_retries} extra attempts, "
+            f"{self.recovered_trials} recovered), {self.deadline_exceeded} deadline-exceeded, "
+            f"{self.skipped_device_measurements} device predictions skipped"
+            + (f"; failures by kind: {kinds}" if kinds else "")
+        )
+
     def summary(self) -> str:
         """End-of-run report."""
         slowest = max(self.durations) if self.durations else 0.0
-        return (
+        line = (
             f"completed {self._done}/{self.total} trials in {format_duration(self.elapsed_s)} "
             f"({self.failures} failed); mean trial {format_duration(self.mean_trial_s)}, "
             f"slowest {format_duration(slowest)}"
         )
+        if self.retried_trials or self.failures or self.skipped_device_measurements:
+            line += "; " + self.fault_line()
+        return line

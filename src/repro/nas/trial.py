@@ -40,6 +40,20 @@ class TrialRecord:
     flops: int = 0
     duration_s: float = 0.0
     error: str = ""
+    #: Fault-tolerance bookkeeping (see :mod:`repro.nas.retry`):
+    #: how many attempts the trial took (1 = first try succeeded),
+    #: the :class:`~repro.nas.retry.ErrorKind` of the final failure
+    #: (``""`` for successes), the captured traceback of an unexpected
+    #: failure, and device predictors skipped by graceful degradation.
+    attempts: int = 1
+    error_kind: str = ""
+    traceback: str = ""
+    skipped_devices: tuple[str, ...] = ()
+
+    @property
+    def retried(self) -> bool:
+        """Whether the trial needed more than one attempt."""
+        return self.attempts > 1
 
     @property
     def ok(self) -> bool:
@@ -70,6 +84,10 @@ class TrialRecord:
             "flops": self.flops,
             "duration_s": self.duration_s,
             "error": self.error,
+            "attempts": self.attempts,
+            "error_kind": self.error_kind,
+            "traceback": self.traceback,
+            "skipped_devices": list(self.skipped_devices),
         }
 
     @classmethod
@@ -89,6 +107,10 @@ class TrialRecord:
             flops=int(data.get("flops", 0)),
             duration_s=float(data.get("duration_s", 0.0)),
             error=str(data.get("error", "")),
+            attempts=int(data.get("attempts", 1)),
+            error_kind=str(data.get("error_kind", "")),
+            traceback=str(data.get("traceback", "")),
+            skipped_devices=tuple(str(d) for d in data.get("skipped_devices", ())),
         )
 
     def as_analysis_record(self) -> dict[str, Any]:

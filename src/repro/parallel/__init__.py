@@ -8,7 +8,13 @@ multi-process CPU parallelism).
   load balancing for heterogeneous trial costs.
 """
 
-from repro.parallel.executor import Executor, SerialExecutor, ProcessPoolExecutorBackend, make_executor
+from repro.parallel.executor import (
+    Executor,
+    MapItemResult,
+    ProcessPoolExecutorBackend,
+    SerialExecutor,
+    make_executor,
+)
 from repro.parallel.partition import chunk_evenly, chunk_fixed
 from repro.parallel.scheduler import lpt_schedule
 
@@ -16,6 +22,7 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ProcessPoolExecutorBackend",
+    "MapItemResult",
     "make_executor",
     "chunk_evenly",
     "chunk_fixed",

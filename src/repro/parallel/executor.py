@@ -4,6 +4,19 @@ The experiment runner maps an evaluation function over many independent
 configurations — the structure the paper's Discussion proposes scaling
 across GPUs.  Here the same interface runs serially (default on one core)
 or over a process pool; tasks must be picklable top-level callables.
+
+Two failure models are supported:
+
+- :meth:`Executor.map` — fail-fast: the first task exception propagates
+  (the pre-existing contract).  The process backend now additionally
+  survives a dead pool: after ``BrokenProcessPool`` the broken pool is
+  discarded so the *next* map respawns workers instead of failing
+  forever.
+- :meth:`Executor.map_resilient` — per-item isolation: every item yields
+  a :class:`MapItemResult` (ok/value or error), one poisoned task cannot
+  sink the whole map, killed workers are respawned and their in-flight
+  items requeued, and after ``max_pool_deaths`` consecutive pool deaths
+  the backend degrades to serial execution for the remainder.
 """
 
 from __future__ import annotations
@@ -11,12 +24,65 @@ from __future__ import annotations
 import concurrent.futures
 import math
 import os
-from typing import Callable, Iterable, Sequence, TypeVar
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence, TypeVar
 
-__all__ = ["Executor", "SerialExecutor", "ProcessPoolExecutorBackend", "make_executor"]
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ProcessPoolExecutorBackend",
+    "MapItemResult",
+    "make_executor",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Errors that must never be swallowed by resilient maps.
+_FATAL = (KeyboardInterrupt, SystemExit, GeneratorExit, MemoryError)
+
+
+@dataclass
+class MapItemResult:
+    """Outcome of one item of a resilient map.
+
+    ``attempts`` counts executions of the item itself (task exceptions);
+    ``requeues`` counts times the item was in flight when a worker pool
+    died and had to be resubmitted.
+    """
+
+    index: int
+    ok: bool
+    value: Any = None
+    error: str = ""
+    error_type: str = ""
+    attempts: int = 1
+    requeues: int = 0
+
+    def unwrap(self) -> Any:
+        """The value, or raise ``RuntimeError`` if the item failed."""
+        if not self.ok:
+            raise RuntimeError(f"item {self.index} failed: {self.error_type}: {self.error}")
+        return self.value
+
+
+def _run_item_serial(fn: Callable[[T], R], index: int, item: T, retries: int) -> MapItemResult:
+    """Run one item in-process, capturing non-fatal exceptions."""
+    result = MapItemResult(index=index, ok=False)
+    for attempt in range(1, retries + 2):
+        result.attempts = attempt
+        try:
+            result.value = fn(item)
+            result.ok = True
+            result.error = result.error_type = ""
+            return result
+        except _FATAL:
+            raise
+        except BaseException as exc:  # noqa: BLE001 - captured per item
+            result.error = str(exc)
+            result.error_type = type(exc).__name__
+    return result
 
 
 class Executor:
@@ -25,6 +91,18 @@ class Executor:
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
         """Apply ``fn`` to every item, preserving input order."""
         raise NotImplementedError
+
+    def map_resilient(
+        self, fn: Callable[[T], R], items: Sequence[T], retries: int = 0
+    ) -> list[MapItemResult]:
+        """Per-item fault-isolated map: one result per item, input order.
+
+        Task exceptions are captured into :class:`MapItemResult` instead
+        of propagating (fatal errors — ``KeyboardInterrupt``,
+        ``MemoryError`` — still raise).  ``retries`` re-runs a failing
+        item up to that many extra times before recording the error.
+        """
+        return [_run_item_serial(fn, i, item, retries) for i, item in enumerate(items)]
 
     def close(self) -> None:
         """Release resources (no-op by default)."""
@@ -50,17 +128,48 @@ class ProcessPoolExecutorBackend(Executor):
     returned in input order regardless of completion order.
     """
 
-    def __init__(self, workers: int | None = None, chunksize: int | None = 1) -> None:
+    def __init__(
+        self,
+        workers: int | None = None,
+        chunksize: int | None = 1,
+        max_pool_deaths: int = 3,
+        max_requeues: int = 2,
+    ) -> None:
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if chunksize is not None and chunksize < 1:
             raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+        if max_pool_deaths < 1:
+            raise ValueError(f"max_pool_deaths must be >= 1, got {max_pool_deaths}")
+        if max_requeues < 0:
+            raise ValueError(f"max_requeues must be >= 0, got {max_requeues}")
         self.workers = workers or max(os.cpu_count() or 1, 1)
         #: ``None`` selects an automatic chunk size per :meth:`map` call:
         #: ``max(1, len(items) // (4 * workers))`` — ~4 chunks per worker,
         #: amortizing IPC for cheap trials while keeping load balance.
         self.chunksize = chunksize
+        #: Consecutive ``BrokenProcessPool`` deaths tolerated by
+        #: :meth:`map_resilient` before degrading to serial execution.
+        self.max_pool_deaths = max_pool_deaths
+        #: Times one item may be requeued after pool deaths before it is
+        #: recorded as failed (guards against a deterministic worker
+        #: killer respawning pools forever).
+        self.max_requeues = max_requeues
         self._pool: concurrent.futures.ProcessPoolExecutor | None = None
+        #: Lifetime resilience counters (see :attr:`stats`).
+        self.pool_deaths = 0
+        self.requeued_items = 0
+        self.degraded = False
+        self._consecutive_deaths = 0
+
+    @property
+    def stats(self) -> dict[str, int | bool]:
+        """Resilience counters: pool deaths, requeues, degraded flag."""
+        return {
+            "pool_deaths": self.pool_deaths,
+            "requeued_items": self.requeued_items,
+            "degraded": self.degraded,
+        }
 
     def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
         if self._pool is None:
@@ -83,11 +192,119 @@ class ProcessPoolExecutorBackend(Executor):
             return min(self.chunksize, spread_cap)
         return min(max(1, n_items // (4 * self.workers)), spread_cap)
 
+    def _discard_pool(self) -> None:
+        """Drop a (possibly broken) pool so the next map respawns workers."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def _record_pool_death(self) -> None:
+        self.pool_deaths += 1
+        self._consecutive_deaths += 1
+        self._discard_pool()
+        if self._consecutive_deaths >= self.max_pool_deaths:
+            self.degraded = True
+
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
         if not items:
             return []  # avoid spinning up workers for an empty sweep
+        if self.degraded:  # too many pool deaths: honest serial fallback
+            return [fn(item) for item in items]
         pool = self._ensure_pool()
-        return list(pool.map(fn, items, chunksize=self._effective_chunksize(len(items))))
+        try:
+            results = list(pool.map(fn, items, chunksize=self._effective_chunksize(len(items))))
+        except BrokenProcessPool:
+            # A dead worker poisons the whole pool object.  Discard it so
+            # subsequent maps respawn instead of failing forever, then
+            # re-raise: plain map is fail-fast by contract.
+            self._record_pool_death()
+            raise
+        self._consecutive_deaths = 0
+        return results
+
+    def map_resilient(
+        self, fn: Callable[[T], R], items: Sequence[T], retries: int = 0
+    ) -> list[MapItemResult]:
+        """Fault-isolated map over a (respawnable) process pool.
+
+        - a task exception fails only its own item (with up to
+          ``retries`` in-pool re-runs);
+        - ``BrokenProcessPool`` respawns the pool and requeues every item
+          that was still in flight (each at most :attr:`max_requeues`
+          times — a deterministic worker killer cannot loop forever);
+        - after :attr:`max_pool_deaths` *consecutive* pool deaths the
+          remaining items run serially in this process (degraded mode,
+          reported via :attr:`stats`).
+        """
+        if not items:
+            return []
+        results: dict[int, MapItemResult] = {}
+        pending: list[int] = list(range(len(items)))
+        requeues = {i: 0 for i in pending}
+        attempts = {i: 0 for i in pending}
+        while pending:
+            if self.degraded:
+                for i in pending:
+                    result = _run_item_serial(fn, i, items[i], retries)
+                    result.attempts += attempts[i]
+                    result.requeues = requeues[i]
+                    results[i] = result
+                pending = []
+                break
+            pool = self._ensure_pool()
+            futures = {pool.submit(fn, items[i]): i for i in pending}
+            broken = False
+            still_pending: list[int] = []
+            for future in concurrent.futures.as_completed(futures):
+                i = futures[future]
+                try:
+                    value = future.result()
+                except _FATAL:
+                    raise
+                except BrokenProcessPool:
+                    # This item was in flight (or queued) when a worker
+                    # died; decide between requeue and giving up.
+                    broken = True
+                    requeues[i] += 1
+                    if requeues[i] > self.max_requeues:
+                        results[i] = MapItemResult(
+                            index=i,
+                            ok=False,
+                            error=(
+                                f"worker pool died {requeues[i]} times while this item "
+                                "was in flight; giving up on it"
+                            ),
+                            error_type="BrokenProcessPool",
+                            attempts=attempts[i] + 1,
+                            requeues=requeues[i],
+                        )
+                    else:
+                        still_pending.append(i)
+                except BaseException as exc:  # noqa: BLE001 - per-item capture
+                    attempts[i] += 1
+                    if attempts[i] <= retries:
+                        still_pending.append(i)
+                    else:
+                        results[i] = MapItemResult(
+                            index=i,
+                            ok=False,
+                            error=str(exc),
+                            error_type=type(exc).__name__,
+                            attempts=attempts[i],
+                            requeues=requeues[i],
+                        )
+                else:
+                    attempts[i] += 1
+                    results[i] = MapItemResult(
+                        index=i, ok=True, value=value, attempts=attempts[i], requeues=requeues[i]
+                    )
+            if broken:
+                self._record_pool_death()
+                self.requeued_items += len(still_pending)
+            else:
+                self._consecutive_deaths = 0
+            pending = sorted(still_pending)
+        return [results[i] for i in range(len(items))]
 
     def close(self) -> None:
         if self._pool is not None:

@@ -23,6 +23,8 @@ __all__ = [
     "write_jsonl",
     "read_jsonl",
     "iter_jsonl",
+    "scan_jsonl",
+    "append_jsonl_line",
     "write_csv",
 ]
 
@@ -93,6 +95,60 @@ def iter_jsonl(path: str | Path) -> Iterator[dict[str, Any]]:
 def read_jsonl(path: str | Path) -> list[dict[str, Any]]:
     """Load all records from a JSON Lines file."""
     return list(iter_jsonl(path))
+
+
+def scan_jsonl(path: str | Path) -> Iterator[tuple[int, str, dict[str, Any] | None]]:
+    """Tolerantly scan a JSON Lines file, surfacing corrupt lines.
+
+    Yields ``(lineno, raw_line, parsed)`` for every non-blank line
+    (1-based line numbers, raw line without the trailing newline);
+    ``parsed`` is ``None`` when the line is not valid JSON or not a JSON
+    object — the caller decides whether to quarantine or raise.  A store
+    whose writer was killed mid-append typically has exactly one such
+    line: the truncated tail.
+    """
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            raw = line.rstrip("\n")
+            if not raw.strip():
+                continue
+            try:
+                parsed = json.loads(raw)
+            except (json.JSONDecodeError, ValueError):
+                parsed = None
+            if not isinstance(parsed, dict):
+                parsed = None
+            yield lineno, raw, parsed
+
+
+def append_jsonl_line(
+    handle: Any,
+    record: Mapping[str, Any],
+    durability: str = "flush",
+) -> None:
+    """Append one record to an open JSONL handle with a durability knob.
+
+    - ``"buffered"`` — leave the record in the process's stdio buffer
+      (fastest; a crash can lose buffered records);
+    - ``"flush"`` — flush to the OS after the record (default: survives a
+      *process* crash, not an OS/power failure);
+    - ``"fsync"`` — flush + ``os.fsync`` (survives power loss; the paper
+      -scale sweep appends a few records per second, so the extra
+      syscall is cheap relative to a trial).
+
+    The record is written as a single ``write`` of ``json + "\\n"`` so a
+    crash between records never interleaves partial lines from this
+    process.
+    """
+    if durability not in ("buffered", "flush", "fsync"):
+        raise ValueError(
+            f"durability must be 'buffered', 'flush' or 'fsync', got {durability!r}"
+        )
+    handle.write(json.dumps(record, cls=_NumpyJSONEncoder) + "\n")
+    if durability in ("flush", "fsync"):
+        handle.flush()
+    if durability == "fsync":
+        os.fsync(handle.fileno())
 
 
 def write_csv(

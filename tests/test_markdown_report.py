@@ -39,6 +39,13 @@ class TestSweepMarkdown:
         assert "channels=5, batch=16" in text
         assert "1728" in text  # paper trial count for comparison
 
+    def test_fault_tolerance_section(self, small_result):
+        text = sweep_markdown(small_result, include_baseline=False)
+        assert "## Fault tolerance" in text
+        for quantity in ("trials retried", "recovered by retry", "deadline exceeded",
+                         "device predictions skipped", "store lines quarantined"):
+            assert quantity in text
+
     def test_baseline_section_optional(self, small_result):
         with_baseline = sweep_markdown(small_result, include_baseline=True)
         without = sweep_markdown(small_result, include_baseline=False)

@@ -1,0 +1,335 @@
+"""Error taxonomy, retry policy, deadlines and the fault-injection harness."""
+
+import os
+import time
+
+import pytest
+
+from repro.faults import (
+    Fault,
+    FaultKind,
+    FaultPlan,
+    InjectedTransientError,
+    KillSwitch,
+    corrupt_store_tail,
+    interrupt_after,
+)
+from repro.nas.failures import FailureInjector
+from repro.nas.retry import (
+    Deadline,
+    ErrorKind,
+    PermanentTrialError,
+    RetryPolicy,
+    TransientTrialError,
+    TrialDeadlineExceeded,
+    classify_error,
+    current_deadline,
+    deadline_scope,
+    run_with_retry,
+)
+
+
+class TestClassifyError:
+    @pytest.mark.parametrize("exc,kind", [
+        (TransientTrialError("flake"), ErrorKind.TRANSIENT),
+        (TimeoutError(), ErrorKind.TRANSIENT),
+        (ConnectionResetError(), ErrorKind.TRANSIENT),
+        (BrokenPipeError(), ErrorKind.TRANSIENT),
+        (EOFError(), ErrorKind.TRANSIENT),
+        (PermanentTrialError("bad"), ErrorKind.PERMANENT),
+        (FloatingPointError("overflow"), ErrorKind.PERMANENT),
+        (ValueError("bad config"), ErrorKind.PERMANENT),
+        (RuntimeError("unexpected"), ErrorKind.PERMANENT),
+        (TrialDeadlineExceeded("late"), ErrorKind.DEADLINE),
+        (KeyboardInterrupt(), ErrorKind.FATAL),
+        (MemoryError(), ErrorKind.FATAL),
+        (SystemExit(1), ErrorKind.FATAL),
+    ])
+    def test_taxonomy(self, exc, kind):
+        assert classify_error(exc) is kind
+
+    def test_broken_process_pool_is_transient(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        assert classify_error(BrokenProcessPool("dead")) is ErrorKind.TRANSIENT
+
+
+class TestDeadline:
+    def test_unlimited_never_expires(self):
+        d = Deadline(None)
+        assert d.remaining() == float("inf") and not d.expired
+        d.check()  # no raise
+
+    def test_expiry_and_check(self):
+        t = [0.0]
+        d = Deadline(1.0, clock=lambda: t[0])
+        assert not d.expired and d.remaining() == 1.0
+        t[0] = 2.0
+        assert d.expired and d.remaining() == 0.0
+        with pytest.raises(TrialDeadlineExceeded, match="deadline"):
+            d.check("unit test")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Deadline(0)
+
+    def test_scope_stack(self):
+        assert current_deadline() is None
+        outer, inner = Deadline(10.0), Deadline(5.0)
+        with deadline_scope(outer):
+            assert current_deadline() is outer
+            with deadline_scope(inner):
+                assert current_deadline() is inner
+            assert current_deadline() is outer
+        assert current_deadline() is None
+
+    def test_scope_none_is_noop(self):
+        with deadline_scope(None):
+            assert current_deadline() is None
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline_s=0)
+
+    def test_delay_deterministic_and_backed_off(self):
+        policy = RetryPolicy(base_delay_s=0.1, backoff=2.0, jitter=0.1, seed=3)
+        d1, d2 = policy.delay_for("trial-7", 1), policy.delay_for("trial-7", 2)
+        assert d1 == policy.delay_for("trial-7", 1)  # same key+attempt -> same delay
+        assert d2 > d1  # exponential growth dominates the 10% jitter
+        assert policy.delay_for("trial-8", 1) != d1  # keyed per trial
+        assert 0.09 <= d1 <= 0.11
+
+    def test_zero_base_is_zero(self):
+        assert RetryPolicy(base_delay_s=0.0).delay_for("k", 3) == 0.0
+
+    def test_none_policy(self):
+        policy = RetryPolicy.none(deadline_s=5.0)
+        assert policy.max_attempts == 1 and policy.deadline_s == 5.0
+
+
+class TestRunWithRetry:
+    def _policy(self, **kw):
+        kw.setdefault("base_delay_s", 0.0)
+        return RetryPolicy(**kw)
+
+    def test_success_first_try(self):
+        out = run_with_retry(lambda a: "ok", self._policy())
+        assert out.ok and out.value == "ok" and out.attempts == 1 and out.error == ""
+
+    def test_transient_recovers(self):
+        def fn(attempt):
+            if attempt < 3:
+                raise TransientTrialError("flake")
+            return attempt
+
+        out = run_with_retry(fn, self._policy(max_attempts=3))
+        assert out.ok and out.value == 3 and out.attempts == 3
+        assert out.attempt_errors == ["TransientTrialError: flake"] * 2
+
+    def test_transient_exhausts_attempts(self):
+        def fn(attempt):
+            raise TransientTrialError("always")
+
+        out = run_with_retry(fn, self._policy(max_attempts=2))
+        assert not out.ok and out.attempts == 2 and out.error_kind == "transient"
+
+    def test_permanent_not_retried(self):
+        calls = []
+
+        def fn(attempt):
+            calls.append(attempt)
+            raise FloatingPointError("nan")
+
+        out = run_with_retry(fn, self._policy(max_attempts=5))
+        assert not out.ok and calls == [1]
+        assert out.error_kind == "permanent"
+        assert "FloatingPointError" in out.error and "FloatingPointError" in out.traceback
+
+    def test_fatal_propagates(self):
+        def fn(attempt):
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_with_retry(fn, self._policy())
+
+    def test_deadline_stops_retries(self):
+        slept = []
+
+        def fn(attempt):
+            raise TransientTrialError("flake")
+
+        policy = RetryPolicy(max_attempts=10, base_delay_s=10.0, jitter=0.0,
+                             deadline_s=0.05, sleep=slept.append)
+        out = run_with_retry(fn, policy)
+        assert not out.ok and out.error_kind == "deadline"
+        assert slept == []  # the 10s backoff would overshoot the deadline
+
+    def test_deadline_visible_inside_attempt(self):
+        def fn(attempt):
+            assert current_deadline() is not None
+            return current_deadline().limit_s
+
+        out = run_with_retry(fn, self._policy(deadline_s=9.0))
+        assert out.ok and out.value == 9.0
+
+    def test_backoff_sleeps_are_deterministic(self):
+        slept = []
+
+        def fn(attempt):
+            raise TransientTrialError("flake")
+
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.01, jitter=0.1, seed=11,
+                             sleep=slept.append)
+        run_with_retry(fn, policy, key="t0")
+        first = list(slept)
+        slept.clear()
+        run_with_retry(fn, policy, key="t0")
+        assert slept == first and len(first) == 2
+
+
+class TestFaultPlan:
+    def test_chaos_deterministic_and_disjoint(self):
+        a = FaultPlan.chaos(total=50, transients=3, failures=2, spikes=1, hangs=1, seed=9)
+        b = FaultPlan.chaos(total=50, transients=3, failures=2, spikes=1, hangs=1, seed=9)
+        kinds = [a.trials_with(k) for k in FaultKind]
+        assert kinds == [b.trials_with(k) for k in FaultKind]
+        flat = [t for ids in kinds for t in ids]
+        assert len(flat) == len(set(flat)) == 7  # disjoint trial sets
+        assert a.trials_with(FaultKind.TRANSIENT) != FaultPlan.chaos(
+            total=50, transients=3, failures=2, spikes=1, hangs=1, seed=10
+        ).trials_with(FaultKind.TRANSIENT)
+
+    def test_chaos_overcommit_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.chaos(total=3, transients=2, failures=2)
+
+    def test_paper_mode_matches_legacy_injector(self):
+        for seed in (0, 1, 5):
+            assert (FaultPlan.paper_mode(seed).failed_indices
+                    == FailureInjector.paper_mode(seed).failed_indices)
+
+    def test_transient_heals_after_n_attempts(self):
+        plan = FaultPlan([Fault(FaultKind.TRANSIENT, trial_id=4, attempts=2)])
+        for attempt in (1, 2):
+            with pytest.raises(InjectedTransientError):
+                plan.on_attempt(4, attempt)
+        plan.on_attempt(4, 3)  # healed
+        plan.on_attempt(5, 1)  # unscheduled trial untouched
+        assert plan.counters["transient"] == 2
+
+    def test_fails_only_for_trial_failures(self):
+        plan = FaultPlan([Fault(FaultKind.TRIAL_FAILURE, 1), Fault(FaultKind.TRANSIENT, 2)])
+        assert plan.fails(1) and not plan.fails(2) and not plan.fails(0)
+        assert plan.failed_indices == frozenset({1})
+
+    def test_hang_trips_the_deadline(self):
+        plan = FaultPlan([Fault(FaultKind.HANG, 0, delay_s=5.0)])
+        t0 = time.monotonic()
+        with deadline_scope(Deadline(0.02)):
+            with pytest.raises(TrialDeadlineExceeded):
+                plan.on_attempt(0, 1)
+        assert time.monotonic() - t0 < 1.0  # bounded by the deadline, not the cap
+
+    def test_hang_without_deadline_is_capped(self):
+        plan = FaultPlan([Fault(FaultKind.HANG, 0, delay_s=0.02)])
+        t0 = time.monotonic()
+        plan.on_attempt(0, 1)  # returns after the cap
+        assert 0.01 < time.monotonic() - t0 < 1.0
+
+    def test_latency_spike_sleeps(self):
+        plan = FaultPlan([Fault(FaultKind.LATENCY_SPIKE, 0, delay_s=0.02)])
+        t0 = time.monotonic()
+        plan.on_attempt(0, 1)
+        assert time.monotonic() - t0 >= 0.015
+        assert plan.counters["latency_spike"] == 1
+
+    def test_describe(self):
+        plan = FaultPlan.chaos(total=10, transients=1, seed=2)
+        assert "transient=1" in plan.describe()
+        assert FaultPlan.none().describe() == "FaultPlan(none, seed=0)"
+
+
+class TestKillSwitch:
+    def test_acquire_exactly_once(self, tmp_path):
+        latch = KillSwitch(tmp_path / "kill.latch")
+        assert latch.acquire()
+        assert not latch.acquire()
+        assert not KillSwitch(tmp_path / "kill.latch").acquire()  # cross-instance
+
+    def test_fire_once_noop_after_acquired(self, tmp_path):
+        latch = KillSwitch(tmp_path / "kill.latch")
+        assert latch.acquire()
+        latch.fire_once()  # must NOT os._exit the test process
+
+
+class TestCorruptStoreTail:
+    def _store(self, tmp_path, n=3):
+        tmp_path.mkdir(parents=True, exist_ok=True)
+        path = tmp_path / "trials.jsonl"
+        path.write_text("".join('{"trial_id": %d}\n' % i for i in range(n)))
+        return path
+
+    def test_truncate_removes_tail_newline(self, tmp_path):
+        path = self._store(tmp_path)
+        info = corrupt_store_tail(path, mode="truncate", seed=0)
+        raw = path.read_bytes()
+        assert not raw.endswith(b"\n") and info["mode"] == "truncate"
+        assert raw.count(b"\n") == 2  # two intact records remain
+
+    def test_truncate_deterministic(self, tmp_path):
+        a = self._store(tmp_path / "a")
+        b = self._store(tmp_path / "b")
+        corrupt_store_tail(a, mode="truncate", seed=5)
+        corrupt_store_tail(b, mode="truncate", seed=5)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_garbage_mode(self, tmp_path):
+        path = self._store(tmp_path)
+        corrupt_store_tail(path, mode="garbage", seed=1)
+        lines = path.read_bytes().rstrip(b"\n").split(b"\n")
+        assert len(lines) == 3
+        import json
+
+        with pytest.raises(Exception):
+            json.loads(lines[-1])
+
+    def test_partial_append_mode(self, tmp_path):
+        path = self._store(tmp_path)
+        before = path.read_bytes()
+        corrupt_store_tail(path, mode="partial-append", seed=2)
+        after = path.read_bytes()
+        assert after.startswith(before) and not after.endswith(b"\n")
+
+    def test_bad_mode_and_empty_file(self, tmp_path):
+        path = self._store(tmp_path)
+        with pytest.raises(ValueError):
+            corrupt_store_tail(path, mode="nuke")
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError):
+            corrupt_store_tail(empty)
+
+
+class TestInterruptAfter:
+    def test_raises_at_threshold(self):
+        cb = interrupt_after(2)
+        cb(1, 10, None)
+        with pytest.raises(KeyboardInterrupt):
+            cb(2, 10, None)
+
+    def test_custom_exception_and_validation(self):
+        cb = interrupt_after(1, exc_type=SystemExit)
+        with pytest.raises(SystemExit):
+            cb(1, 5, None)
+        with pytest.raises(ValueError):
+            interrupt_after(0)
