@@ -14,6 +14,10 @@ Subcommands
     Predict one configuration's latency on all four device profiles.
 ``profile``
     Per-layer wall-time profile of one configuration (real forward pass).
+``obs``
+    Render or export an observability JSONL log (``repro obs report`` /
+    ``repro obs export``); logs are produced by ``sweep --obs-log`` or
+    any :func:`repro.obs.configure` call with a ``jsonl_path``.
 """
 
 from __future__ import annotations
@@ -68,9 +72,12 @@ def _cmd_space(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    import repro.obs as obs
     from repro.nas import Experiment, FailureInjector, GridSearch, SurrogateEvaluator, TrialStore
     from repro.nas.searchspace import DEFAULT_SPACE
 
+    if args.obs_log:
+        obs.configure(jsonl_path=args.obs_log, reset_metrics=True)
     store = TrialStore(args.out)
     injector = FailureInjector.paper_mode(seed=args.seed) if args.paper_mode else FailureInjector.none()
     experiment = Experiment(
@@ -80,9 +87,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         failure_injector=injector,
     )
     budget = args.budget or DEFAULT_SPACE.total_configurations()
-    result = experiment.run(budget=budget)
+    try:
+        result = experiment.run(budget=budget)
+    finally:
+        if args.obs_log:
+            obs.shutdown()
     print(f"launched={result.launched} valid={result.succeeded} failed={result.failed}")
     print(f"trials written to {args.out}")
+    if args.obs_log:
+        print(f"observability log written to {args.obs_log} "
+              f"(render with: repro-nas obs report {args.obs_log})")
     return 0
 
 
@@ -194,6 +208,28 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import export_chrome_trace, export_prometheus, read_events, render_report
+
+    events = read_events(args.log)
+    if not events:
+        _LOG.error("no events found in %s", args.log)
+        return 1
+    if args.obs_command == "report":
+        print(render_report(events, coverage_parent=args.parent))
+        return 0
+    # export
+    if args.format == "chrome":
+        size = export_chrome_trace(events, args.out)
+        print(f"Chrome trace written to {args.out} ({size / 1e3:.1f} kB); "
+              f"open chrome://tracing or https://ui.perfetto.dev")
+    else:
+        text = export_prometheus(events, args.out)
+        print(f"Prometheus exposition written to {args.out} "
+              f"({len(text.splitlines())} lines)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro-nas`` argument parser."""
     parser = argparse.ArgumentParser(prog="repro-nas", description=__doc__,
@@ -208,6 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--budget", type=int, default=0, help="0 = full grid")
     sweep.add_argument("--seed", type=int, default=0)
     sweep.add_argument("--paper-mode", action="store_true", help="inject the 11 paper failures")
+    sweep.add_argument("--obs-log", default="", help="also write an observability JSONL log here")
 
     pareto = sub.add_parser("pareto", help="Pareto front of a trial JSONL (Table 4)")
     pareto.add_argument("trials", help="path to a sweep JSONL file")
@@ -237,6 +274,17 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--size", type=int, default=64, help="input patch size")
     profile.add_argument("--profile-batch", type=int, default=4)
 
+    obs_parser = sub.add_parser("obs", help="inspect an observability JSONL log")
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser("report", help="render counters, histograms and span tree")
+    obs_report.add_argument("log", help="path to an obs JSONL log")
+    obs_report.add_argument("--parent", default="experiment.run",
+                            help="span whose children define trace coverage")
+    obs_export = obs_sub.add_parser("export", help="convert the log to another format")
+    obs_export.add_argument("log", help="path to an obs JSONL log")
+    obs_export.add_argument("--format", default="chrome", choices=("chrome", "prom"))
+    obs_export.add_argument("--out", required=True, help="output file")
+
     return parser
 
 
@@ -251,6 +299,7 @@ _COMMANDS = {
     "energy": _cmd_energy,
     "quantize": _cmd_quantize,
     "profile": _cmd_profile,
+    "obs": _cmd_obs,
 }
 
 

@@ -24,11 +24,14 @@ between the two (and :mod:`repro.nn`) is enforced by
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
+
+import repro.obs as obs
 
 from repro.deploy.passes import (
     PlanNode,
@@ -372,11 +375,17 @@ class InferencePlan:
         self.shapes = shapes
         self.final_output = final_output
         self._naive_tensor_shapes = naive_tensor_shapes
+        # Per-plan inference latency histogram (no-op while obs is
+        # disabled; handle cached here so run() pays one flag check).
+        self._latency = obs.histogram(
+            "repro_inference_latency_seconds", plan=name, runtime="compiled"
+        )
 
     # -- execution -------------------------------------------------------------
 
     def run(self, x: np.ndarray) -> np.ndarray:
         """Run inference on a batch of the compiled input shape."""
+        started = time.perf_counter()
         x = np.asarray(x, dtype=np.float32)
         if x.ndim != 4 or tuple(x.shape[1:]) != self.input_shape:
             raise ValueError(
@@ -395,6 +404,7 @@ class InferencePlan:
         result = env.pop(self.final_output)
         out = result.copy()
         arena.release(result)
+        self._latency.observe(time.perf_counter() - started)
         return out
 
     def predict(self, x: np.ndarray) -> np.ndarray:

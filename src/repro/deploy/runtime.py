@@ -21,12 +21,14 @@ emits for the paper's model family).
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 from typing import TYPE_CHECKING
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
+import repro.obs as obs
 from repro.onnxlite.reader import load_model, proto_from_bytes
 from repro.onnxlite.schema import ModelProto, OperatorProto
 
@@ -91,6 +93,10 @@ class OnnxliteRuntime:
         #: (every intermediate stays alive — the figure the compiled
         #: plan's arena is measured against).
         self.last_env_bytes = 0
+        # Interpreted-path latency histogram (no-op while obs disabled).
+        self._latency = obs.histogram(
+            "repro_inference_latency_seconds", plan=proto.name, runtime="interpreted"
+        )
         self._validate_ops()
 
     def _validate_ops(self) -> None:
@@ -181,6 +187,7 @@ class OnnxliteRuntime:
         np.ndarray
             The output logits, shape ``(N, *output_shape)``.
         """
+        started = time.perf_counter()
         x = np.asarray(x, dtype=np.float32)
         expected_c = self.proto.input_shape[0]
         if x.ndim != 4 or x.shape[1] != expected_c:
@@ -196,6 +203,7 @@ class OnnxliteRuntime:
         if result is None:
             raise ValueError("model has no operators")
         self.last_env_bytes = sum(v.nbytes for v in env.values())
+        self._latency.observe(time.perf_counter() - started)
         return result
 
     def predict(self, x: np.ndarray) -> np.ndarray:

@@ -28,7 +28,7 @@ The deterministic chaos harness that exercises this stack lives in
 from repro.nas.config import ModelConfig, CHANNEL_CHOICES, BATCH_CHOICES
 from repro.nas.searchspace import SearchSpace, DEFAULT_SPACE, enumerate_input_combinations
 from repro.nas.trial import TrialRecord, TrialStatus
-from repro.nas.evaluators import AccuracyEvaluator, TrainingEvaluator, EvalResult
+from repro.nas.evaluators import AccuracyEvaluator, EvalOutcome, EvalResult, TrainingEvaluator
 from repro.nas.surrogate import SurrogateEvaluator, SurrogateCoefficients, fit_surrogate
 from repro.nas.strategies import GridSearch, RandomSearch, RegularizedEvolution, SearchStrategy
 from repro.nas.moo import NSGAEvolution
@@ -65,6 +65,7 @@ __all__ = [
     "AccuracyEvaluator",
     "TrainingEvaluator",
     "EvalResult",
+    "EvalOutcome",
     "SurrogateEvaluator",
     "SurrogateCoefficients",
     "fit_surrogate",

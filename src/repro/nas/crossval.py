@@ -22,10 +22,12 @@ reallocating them — the training-side analogue of the deploy arena.
 from __future__ import annotations
 
 import contextlib
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+import repro.obs as obs
 from repro.data.augment import augment_batch
 from repro.data.dataset import DrainageCrossingDataset
 from repro.data.sampler import BatchSampler
@@ -177,7 +179,12 @@ def evaluate_accuracy(model, dataset: DrainageCrossingDataset, indices: np.ndarr
 
 @dataclass(frozen=True)
 class _FoldTask:
-    """One self-contained fold: everything a pool worker needs, pickled."""
+    """One self-contained fold: everything a pool worker needs, pickled.
+
+    ``obs_ctx`` is the parent's span context
+    (:func:`repro.obs.propagated_context`): the worker adopts it so its
+    fold span stitches into the trial span across the process boundary.
+    """
 
     config: ModelConfig
     dataset: DrainageCrossingDataset
@@ -186,6 +193,8 @@ class _FoldTask:
     val_idx: np.ndarray
     init_seed: int
     train_seed: int
+    fold: int = 0
+    obs_ctx: "obs.SpanContext | None" = None
 
 
 #: Process-local workspace pool shared by every fold this process runs.
@@ -200,6 +209,9 @@ def _fold_workspace_pool() -> "WorkspacePool":
     global _FOLD_POOL
     if _FOLD_POOL is None:
         _FOLD_POOL = WorkspacePool()
+        # Snapshot-time gauges (hits/misses/pooled bytes) for the obs
+        # layer; the acquire/release hot path is untouched.
+        _FOLD_POOL.publish_metrics(pool_name="fold")
     return _FOLD_POOL
 
 
@@ -211,24 +223,43 @@ def clear_fold_workspaces() -> None:
         _FOLD_POOL = None
 
 
+#: Fold wall-time histogram (no-op until ``repro.obs.configure``).
+_FOLD_SECONDS = obs.histogram("repro_train_fold_seconds")
+
+
 def _run_fold(task: _FoldTask) -> float:
-    """Train and score one fold (top-level so process pools can pickle it)."""
+    """Train and score one fold (top-level so process pools can pickle it).
+
+    When the task carries a propagated span context, the fold runs under
+    an adopted ``fold`` span — in a pool worker this re-opens the
+    parent's JSONL sink, parents the span to the parent process's trial
+    span, and ships the worker's cumulative metrics snapshot home on
+    exit.
+    """
     context = (
         use_workspaces(_fold_workspace_pool())
         if task.settings.workspaces
         else contextlib.nullcontext()
     )
-    with context:
-        model = build_model(task.config, seed=task.init_seed)
-        train_one_model(
-            model,
-            task.dataset,
-            task.train_idx,
-            batch_size=task.config.batch,
-            settings=task.settings,
-            rng_seed=task.train_seed,
-        )
-        return evaluate_accuracy(model, task.dataset, task.val_idx, batch=task.settings.eval_batch)
+    with obs.adopt_context(task.obs_ctx):
+        with obs.span("fold", fold=task.fold, k=task.settings.k,
+                      epochs=task.settings.epochs):
+            started = time.perf_counter()
+            with context:
+                model = build_model(task.config, seed=task.init_seed)
+                train_one_model(
+                    model,
+                    task.dataset,
+                    task.train_idx,
+                    batch_size=task.config.batch,
+                    settings=task.settings,
+                    rng_seed=task.train_seed,
+                )
+                accuracy = evaluate_accuracy(
+                    model, task.dataset, task.val_idx, batch=task.settings.eval_batch
+                )
+            _FOLD_SECONDS.observe(time.perf_counter() - started)
+            return accuracy
 
 
 def cross_validate_model(
@@ -264,6 +295,7 @@ def cross_validate_model(
         )
     seeds = SeedSequenceFactory(seed)
     folds = kfold_indices(len(dataset), k=settings.k, seed=seeds.seed_for("folds") % (2**31))
+    obs_ctx = obs.propagated_context()  # stitch worker fold spans to the trial span
     tasks = [
         _FoldTask(
             config=config,
@@ -273,6 +305,8 @@ def cross_validate_model(
             val_idx=val_idx,
             init_seed=seeds.seed_for("init", fold_idx) % (2**31),
             train_seed=seeds.seed_for("train", fold_idx),
+            fold=fold_idx,
+            obs_ctx=obs_ctx,
         )
         for fold_idx, (train_idx, val_idx) in enumerate(folds)
     ]

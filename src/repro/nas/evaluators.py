@@ -8,20 +8,33 @@ Two backends share one interface:
   3.2).  Used by tests, examples, and the profiled mini-sweep bench.
 - :class:`~repro.nas.surrogate.SurrogateEvaluator` — the calibrated
   analytic substitute used for the full 1,717-trial sweeps.
+
+Batched evaluation is one entry point since the obs consolidation:
+``evaluate(configs, resilient=...)`` accepts either a single
+:class:`~repro.nas.config.ModelConfig` (returning a bare
+:class:`EvalResult`, the contract the Experiment runner uses) or a
+sequence of them (returning a list of :class:`EvalOutcome` envelopes —
+result-or-failure plus attempts, duration and the worker's span id).
+The pre-consolidation names ``evaluate_many`` and
+``evaluate_many_resilient`` remain as deprecated shims that return
+bitwise-identical values to what they always returned.
 """
 
 from __future__ import annotations
 
+import time
+import warnings
 from dataclasses import dataclass, replace
 from typing import Sequence
 
+import repro.obs as obs
 from repro.data.dataset import DrainageCrossingDataset
 from repro.nas.config import ModelConfig
 from repro.nas.crossval import TrainSettings, cross_validate_model
 from repro.parallel.executor import Executor, MapItemResult, make_executor
 from repro.utils.rng import stable_hash
 
-__all__ = ["EvalResult", "AccuracyEvaluator", "TrainingEvaluator"]
+__all__ = ["EvalResult", "EvalOutcome", "AccuracyEvaluator", "TrainingEvaluator"]
 
 
 @dataclass(frozen=True)
@@ -30,6 +43,36 @@ class EvalResult:
 
     accuracy: float
     fold_accuracies: tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class EvalOutcome:
+    """Envelope around one batched evaluation: result *or* failure.
+
+    Returned (one per input, in input order) by
+    ``TrainingEvaluator.evaluate(configs, ...)`` when ``configs`` is a
+    sequence.  ``result`` is ``None`` exactly when ``ok`` is false;
+    ``error`` then carries ``"ErrorType: message"``.  ``attempts``
+    counts executions of the trial (>1 only under ``resilient=True``
+    with retries), ``duration_s`` is the worker-side wall time of the
+    evaluation, and ``span_id`` is the id of the worker's
+    ``"evaluate"`` span (empty while observability is disabled) so a
+    trace viewer can be joined back to the outcome.
+    """
+
+    config: ModelConfig
+    ok: bool
+    result: EvalResult | None = None
+    error: str = ""
+    attempts: int = 1
+    duration_s: float = 0.0
+    span_id: str = ""
+
+    def unwrap(self) -> EvalResult:
+        """The result, or raise ``RuntimeError`` if the trial failed."""
+        if not self.ok or self.result is None:
+            raise RuntimeError(f"evaluation failed for {self.config}: {self.error}")
+        return self.result
 
 
 class AccuracyEvaluator:
@@ -138,8 +181,51 @@ class TrainingEvaluator(AccuracyEvaluator):
             )
         return self._datasets[channels]
 
-    def evaluate(self, config: ModelConfig) -> EvalResult:
-        """Train/evaluate ``config`` with k-fold CV; returns percent accuracy."""
+    def evaluate(
+        self,
+        configs: "ModelConfig | Sequence[ModelConfig]",
+        *,
+        resilient: bool = False,
+    ) -> "EvalResult | list[EvalOutcome]":
+        """Train/evaluate one configuration or a batch of them.
+
+        Single :class:`~repro.nas.config.ModelConfig`
+            Runs k-fold CV through the evaluator's (reused) fold
+            executor and returns a bare :class:`EvalResult` — the
+            contract the Experiment runner and every pre-consolidation
+            caller relies on.  ``resilient=True`` is rejected here:
+            resilience is a property of batched maps.
+
+        Sequence of configurations
+            Parallelizes across *trials* (one task per configuration;
+            folds run serially inside each worker so pools never nest)
+            and returns one :class:`EvalOutcome` per input, in order.
+            With ``resilient=False`` any trial error propagates (every
+            outcome has ``ok=True``); with ``resilient=True`` a trial
+            that raises — or whose pool worker dies — yields a failed
+            outcome while the others still carry their results, with
+            killed pools respawned and in-flight trials requeued
+            (:meth:`repro.parallel.Executor.map_resilient`).
+
+        Per-trial seeds are content-derived (``stable_hash(seed,
+        "trial", config)``), so batched results are bitwise-identical
+        to ``[self.evaluate(c) for c in configs]`` on every backend.
+        When observability is enabled, each trial runs under an
+        ``"evaluate"`` span stitched to the caller's active span even
+        across process boundaries.
+        """
+        if isinstance(configs, ModelConfig):
+            if resilient:
+                raise TypeError(
+                    "resilient=True applies to batched evaluation; "
+                    "pass a sequence of configs (e.g. [config])"
+                )
+            return self._evaluate_single(configs)
+        config_list = list(configs)
+        items = self._map_trials(config_list, resilient=resilient)
+        return [_outcome_from_item(item, config_list[item.index]) for item in items]
+
+    def _evaluate_single(self, config: ModelConfig) -> EvalResult:
         dataset = self._dataset(config.channels)
         fold_accs = cross_validate_model(
             config,
@@ -151,50 +237,103 @@ class TrainingEvaluator(AccuracyEvaluator):
         mean = float(sum(fold_accs) / len(fold_accs))
         return EvalResult(accuracy=mean, fold_accuracies=tuple(fold_accs))
 
-    def evaluate_many(self, configs: Sequence[ModelConfig]) -> list[EvalResult]:
-        """Evaluate a batch of trials, parallelizing across *trials*.
-
-        Routes the independent configurations through the evaluator's
-        executor backend (one task per trial); inside each worker the
-        folds run serially so a process pool is never nested.  Per-trial
-        seeds are content-derived (``stable_hash(seed, "trial",
-        config)``), so the results equal ``[self.evaluate(c) for c in
-        configs]`` exactly, in order, on every backend.
-        """
-        tasks = [(self, config) for config in configs]
+    def _map_trials(
+        self, configs: list[ModelConfig], resilient: bool
+    ) -> list["MapItemResult"]:
+        """Run the batch through a fresh trial executor; returns raw items."""
+        ctx = obs.propagated_context()
+        tasks = [(self, config, ctx) for config in configs]
         with make_executor(
             self.settings.executor, workers=self.settings.workers, chunksize=1
         ) as executor:
-            return list(executor.map(_evaluate_trial, tasks))
+            if resilient:
+                return executor.map_resilient(_evaluate_trial, tasks)
+            return [
+                MapItemResult(index=i, ok=True, value=value)
+                for i, value in enumerate(executor.map(_evaluate_trial, tasks))
+            ]
+
+    # -- deprecated pre-consolidation entry points ---------------------------
+
+    def evaluate_many(self, configs: Sequence[ModelConfig]) -> list[EvalResult]:
+        """Deprecated: use :meth:`evaluate` with a sequence.
+
+        .. deprecated:: PR 4
+            ``evaluate_many(configs)`` is ``[o.unwrap() for o in
+            evaluate(configs)]``.  Returns bitwise-identical values.
+        """
+        warnings.warn(
+            "TrainingEvaluator.evaluate_many() is deprecated; "
+            "use evaluate(configs) and unwrap the EvalOutcome envelopes",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return [outcome.unwrap() for outcome in self.evaluate(list(configs))]
 
     def evaluate_many_resilient(self, configs: Sequence[ModelConfig]) -> list["MapItemResult"]:
-        """Fault-isolated :meth:`evaluate_many`: one result per trial.
+        """Deprecated: use :meth:`evaluate` with ``resilient=True``.
 
-        Uses :meth:`repro.parallel.Executor.map_resilient`, so a trial
-        that raises — or whose pool worker dies — yields a failed
-        :class:`~repro.parallel.MapItemResult` while every other trial
-        still returns its :class:`EvalResult` (in ``.value``).  Killed
-        worker pools are respawned and their in-flight trials requeued;
-        repeated pool deaths degrade the map to serial execution.
-        Successful values are bitwise-identical to :meth:`evaluate_many`
-        (per-trial seeds are content-derived, not order-derived).
+        .. deprecated:: PR 4
+            ``evaluate(configs, resilient=True)`` returns
+            :class:`EvalOutcome` envelopes instead of raw
+            :class:`~repro.parallel.MapItemResult`; this shim converts
+            back (``.value`` carries the bitwise-identical
+            :class:`EvalResult`).
         """
-        tasks = [(self, config) for config in configs]
-        with make_executor(
-            self.settings.executor, workers=self.settings.workers, chunksize=1
-        ) as executor:
-            return executor.map_resilient(_evaluate_trial, tasks)
+        warnings.warn(
+            "TrainingEvaluator.evaluate_many_resilient() is deprecated; "
+            "use evaluate(configs, resilient=True) and the EvalOutcome envelopes",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        items = self._map_trials(list(configs), resilient=True)
+        for item in items:
+            if item.ok:
+                item.value = item.value.result
+        return items
 
 
-def _evaluate_trial(task: tuple[TrainingEvaluator, ModelConfig]) -> EvalResult:
-    """One trial for :meth:`TrainingEvaluator.evaluate_many` (picklable)."""
-    evaluator, config = task
-    dataset = evaluator._dataset(config.channels)
-    fold_accs = cross_validate_model(
-        config,
-        dataset,
-        settings=replace(evaluator.settings, executor="serial"),
-        seed=stable_hash(evaluator.seed, "trial", config.to_dict(), bits=32),
+def _outcome_from_item(item: "MapItemResult", config: ModelConfig) -> EvalOutcome:
+    """Fold a resilient-map item and its worker envelope into one outcome."""
+    if item.ok:
+        outcome: EvalOutcome = item.value
+        if item.attempts > outcome.attempts:
+            outcome = replace(outcome, attempts=item.attempts)
+        return outcome
+    return EvalOutcome(
+        config=config,
+        ok=False,
+        result=None,
+        error=f"{item.error_type}: {item.error}" if item.error_type else item.error,
+        attempts=item.attempts,
     )
-    mean = float(sum(fold_accs) / len(fold_accs))
-    return EvalResult(accuracy=mean, fold_accuracies=tuple(fold_accs))
+
+
+def _evaluate_trial(
+    task: "tuple[TrainingEvaluator, ModelConfig, obs.SpanContext | None]",
+) -> EvalOutcome:
+    """One trial of a batched :meth:`TrainingEvaluator.evaluate` (picklable).
+
+    Adopts the caller's propagated span context so the worker's
+    ``"evaluate"`` (and nested ``"fold"``) spans stitch into the parent
+    trace even when this runs in a pool worker process.
+    """
+    evaluator, config, ctx = (task if len(task) == 3 else (*task, None))
+    with obs.adopt_context(ctx):
+        started = time.perf_counter()
+        with obs.span("evaluate", config=config.config_id()) as sp:
+            dataset = evaluator._dataset(config.channels)
+            fold_accs = cross_validate_model(
+                config,
+                dataset,
+                settings=replace(evaluator.settings, executor="serial"),
+                seed=stable_hash(evaluator.seed, "trial", config.to_dict(), bits=32),
+            )
+        mean = float(sum(fold_accs) / len(fold_accs))
+        return EvalOutcome(
+            config=config,
+            ok=True,
+            result=EvalResult(accuracy=mean, fold_accuracies=tuple(fold_accs)),
+            duration_s=time.perf_counter() - started,
+            span_id=getattr(sp, "span_id", "") or "",
+        )

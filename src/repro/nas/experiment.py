@@ -25,6 +25,7 @@ from typing import Callable, Iterable
 
 import numpy as np
 
+import repro.obs as obs
 from repro.graph.flops import count_graph_flops
 from repro.graph.trace import trace_model
 from repro.latency.devices import DEVICE_PROFILES, DeviceProfile, kernel_latency_ms
@@ -172,7 +173,14 @@ class Experiment:
         captured (with traceback) into the trial record — only fatal
         errors (Ctrl-C, ``MemoryError``) propagate.
     progress:
-        Optional callback ``(done, total, record)`` for UIs/logging.
+        Optional progress consumer.  Accepts either a
+        :class:`~repro.obs.ProgressListener` (full ``on_trial_start`` /
+        ``on_trial_end`` / ``on_run_end`` hooks) or a legacy callable
+        ``(done, total, record)``; anything accepted by
+        :func:`repro.obs.as_listener` works.  An
+        :class:`~repro.obs.ObsProgressListener` is always installed
+        alongside it, so trial counters flow into the metrics registry
+        whenever observability is enabled (and cost nothing otherwise).
     """
 
     def __init__(
@@ -187,7 +195,7 @@ class Experiment:
         jitter_seed: int = 0,
         skip_existing: bool = False,
         retry_policy: RetryPolicy | None = None,
-        progress: Callable[[int, int, TrialRecord], None] | None = None,
+        progress: "Callable[[int, int, TrialRecord], None] | obs.ProgressListener | None" = None,
     ) -> None:
         if latency_jitter < 0:
             raise ValueError(f"latency_jitter must be non-negative, got {latency_jitter}")
@@ -235,6 +243,10 @@ class Experiment:
         attempt count — into a failed record.  Only fatal errors
         (Ctrl-C, ``MemoryError``) propagate and stop the sweep.
         """
+        with obs.span("trial", trial_id=trial_id, config=config.config_id()):
+            return self._run_trial_inner(trial_id, config)
+
+    def _run_trial_inner(self, trial_id: int, config: ModelConfig) -> TrialRecord:
         started = time.perf_counter()
         if self.failure_injector.fails(trial_id):
             return TrialRecord(
@@ -324,6 +336,16 @@ class Experiment:
         """Propose-and-evaluate up to ``budget`` trials."""
         if budget < 1:
             raise ValueError(f"budget must be >= 1, got {budget}")
+        with obs.span("experiment.run", budget=budget,
+                      strategy=type(self.strategy).__name__):
+            return self._run_inner(budget)
+
+    def _run_inner(self, budget: int) -> ExperimentResult:
+        # Normalized at run time (not __init__) so callers may still
+        # assign ``experiment.progress`` directly between runs.
+        listener = obs.ProgressFanout(
+            [obs.as_listener(self.progress), obs.ObsProgressListener()]
+        )
         if self.store.path is not None:
             # Resume gate: refuse to skip trials recorded under different
             # sweep settings; first runs write the manifest for later
@@ -345,6 +367,7 @@ class Experiment:
                     if existing.ok:
                         self.strategy.observe_record(config, existing)
                     continue
+            listener.on_trial_start(trial_id, config)
             record = self.run_trial(trial_id, config)
             self.store.add(record)
             launched += 1
@@ -361,9 +384,8 @@ class Experiment:
                 _LOG.debug("trial %d failed (%s after %d attempts): %s",
                            trial_id, record.error_kind or "failed", record.attempts,
                            record.error)
-            if self.progress is not None:
-                self.progress(launched, budget, record)
-        return ExperimentResult(
+            listener.on_trial_end(launched, budget, record)
+        result = ExperimentResult(
             store=self.store,
             launched=launched,
             succeeded=succeeded,
@@ -374,3 +396,5 @@ class Experiment:
             total_retries=total_retries,
             deadline_exceeded=deadline_exceeded,
         )
+        listener.on_run_end(result)
+        return result

@@ -39,6 +39,7 @@ from typing import Any, Callable, Iterator
 
 import numpy as np
 
+import repro.obs as obs
 from repro.utils.rng import stable_hash
 
 __all__ = [
@@ -286,6 +287,12 @@ def _format_error(exc: BaseException) -> str:
     return f"{type(exc).__name__}: {exc}"
 
 
+# Module-level instrument handles: cached once, no-ops while obs is disabled.
+_ATTEMPTS = obs.counter("repro_trial_attempts_total")
+_RETRIES = obs.counter("repro_trial_retries_total")
+_DEADLINE_HITS = obs.counter("repro_trial_deadline_hits_total")
+
+
 def run_with_retry(
     fn: Callable[[int], Any],
     policy: RetryPolicy,
@@ -309,6 +316,7 @@ def run_with_retry(
     with deadline_scope(deadline):
         for attempt in range(1, policy.max_attempts + 1):
             outcome.attempts = attempt
+            _ATTEMPTS.inc()
             try:
                 if deadline is not None:
                     deadline.check("attempt start")
@@ -326,6 +334,8 @@ def run_with_retry(
                 outcome.error_kind = kind.value
                 outcome.traceback = _traceback.format_exc()
                 outcome.attempt_errors.append(outcome.error)
+                if kind is ErrorKind.DEADLINE:
+                    _DEADLINE_HITS.inc()
                 if logger is not None:
                     logger.debug("attempt %d for %r failed (%s): %s", attempt, key, kind.value, exc)
                 if kind is not ErrorKind.TRANSIENT or attempt >= policy.max_attempts:
@@ -337,7 +347,9 @@ def run_with_retry(
                     outcome.error = (
                         f"TrialDeadlineExceeded: no budget left to retry after {outcome.error}"
                     )
+                    _DEADLINE_HITS.inc()
                     return outcome
+                _RETRIES.inc()
                 if delay > 0:
                     policy.sleep(delay)
     return outcome

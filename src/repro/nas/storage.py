@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, Any, Iterable, Iterator, Mapping
 
+import repro.obs as obs
 from repro.nas.config import ModelConfig
 from repro.nas.trial import TrialRecord
 from repro.utils.io import append_jsonl_line, atomic_write_text, read_json, scan_jsonl, write_json
@@ -37,6 +38,10 @@ from repro.utils.rng import stable_hash
 __all__ = ["TrialStore", "RunManifest", "ResumeMismatchError", "StoreCorruptionError"]
 
 _LOG = get_logger("nas.storage")
+
+# Module-level instrument handles: cached once, no-ops while obs is disabled.
+_APPENDS = obs.counter("repro_store_appends_total")
+_QUARANTINED = obs.counter("repro_store_quarantined_lines_total")
 
 
 class ResumeMismatchError(ValueError):
@@ -212,6 +217,7 @@ class TrialStore:
         self._by_config[record.config.config_id()] = len(self._records) - 1
         if self.path is not None:
             append_jsonl_line(self._append_handle(), record.to_dict(), self.durability)
+            _APPENDS.inc()
 
     def extend(self, records: Iterable[TrialRecord]) -> None:
         """Append many records."""
@@ -270,6 +276,7 @@ class TrialStore:
     def _quarantine_and_rewrite(self, valid_lines: list[str]) -> None:
         """Move corrupt lines to the sidecar and rewrite the store atomically."""
         self.close()  # never rewrite under an open append handle
+        _QUARANTINED.inc(len(self.quarantined))
         stamp = _dt.datetime.now(_dt.timezone.utc).isoformat()
         with open(self.quarantine_path, "a", encoding="utf-8") as sidecar:
             for lineno, raw in self.quarantined:

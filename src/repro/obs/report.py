@@ -1,0 +1,287 @@
+"""Replay a JSONL observability log into reports and exports.
+
+Everything here works from the event file alone — no live process, no
+registry — so a sweep recorded on one machine can be inspected on
+another (``python -m repro obs report run_obs.jsonl``).
+
+The aggregation rules mirror how events are produced:
+
+- *metrics* events are cumulative per process; the **last** snapshot of
+  each pid wins and pids are **summed** (counters, gauge values,
+  histogram buckets alike);
+- *span* events are terminal (emitted once, on exit), so they are used
+  as-is for the trace tree, per-name timing stats and wall-time
+  coverage.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.metrics import metric_key
+from repro.obs.sinks import chrome_trace_events, prometheus_text
+
+__all__ = [
+    "read_events",
+    "aggregate_metrics",
+    "span_tree_stats",
+    "span_coverage",
+    "render_report",
+    "export_chrome_trace",
+    "export_prometheus",
+]
+
+
+def read_events(path: str | Path) -> list[dict]:
+    """Parse a JSONL event log, skipping undecodable lines.
+
+    A worker killed mid-write can leave a torn last line; observability
+    must degrade, not raise, so bad lines are counted into the returned
+    events as a synthetic ``{"type": "corrupt"}`` marker.
+    """
+    events: list[dict] = []
+    text = Path(path).read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            events.append({"type": "corrupt", "line": lineno})
+            continue
+        if isinstance(event, dict):
+            events.append(event)
+    return events
+
+
+# ---------------------------------------------------------------------------
+# metrics aggregation
+# ---------------------------------------------------------------------------
+
+
+def _last_snapshot_per_pid(events: list[dict]) -> dict[int, dict]:
+    latest: dict[int, dict] = {}
+    for event in events:
+        if event.get("type") == "metrics":
+            latest[int(event.get("pid", 0))] = event.get("metrics", {})
+    return latest
+
+
+def aggregate_metrics(events: list[dict]) -> dict:
+    """Sum the last per-pid snapshots into one registry-shaped dict."""
+    counters: dict[str, dict] = {}
+    gauges: dict[str, dict] = {}
+    histograms: dict[str, dict] = {}
+    for snap in _last_snapshot_per_pid(events).values():
+        for item in snap.get("counters", []):
+            key = metric_key(item["name"], item.get("labels", {}))
+            if key in counters:
+                counters[key]["value"] += item["value"]
+            else:
+                counters[key] = dict(item)
+        for item in snap.get("gauges", []):
+            key = metric_key(item["name"], item.get("labels", {}))
+            if key in gauges:
+                gauges[key]["value"] += item["value"]
+            else:
+                gauges[key] = dict(item)
+        for item in snap.get("histograms", []):
+            key = metric_key(item["name"], item.get("labels", {}))
+            if key in histograms and histograms[key]["buckets"] == item["buckets"]:
+                agg = histograms[key]
+                agg["counts"] = [a + b for a, b in zip(agg["counts"], item["counts"])]
+                agg["sum"] += item["sum"]
+                agg["count"] += item["count"]
+                if item["count"]:
+                    agg["min"] = min(agg["min"], item["min"]) if agg["count"] else item["min"]
+                    agg["max"] = max(agg["max"], item["max"])
+            else:
+                histograms[key] = {k: (list(v) if isinstance(v, list) else v)
+                                   for k, v in item.items()}
+    return {
+        "counters": [counters[k] for k in sorted(counters)],
+        "gauges": [gauges[k] for k in sorted(gauges)],
+        "histograms": [histograms[k] for k in sorted(histograms)],
+    }
+
+
+# ---------------------------------------------------------------------------
+# trace aggregation
+# ---------------------------------------------------------------------------
+
+
+def span_tree_stats(events: list[dict]) -> list[dict]:
+    """Per-name span statistics with parent-name attribution.
+
+    Returns rows ``{"name", "parent_name", "count", "total_s",
+    "mean_s", "max_s", "pids"}`` sorted by total time, where
+    ``parent_name`` is the most common name of each span's parent (or
+    ``""`` for roots / unknown parents).
+    """
+    spans = [e for e in events if e.get("type") == "span"]
+    by_id = {e.get("span"): e for e in spans}
+    rows: dict[tuple[str, str], dict] = {}
+    for e in spans:
+        parent = by_id.get(e.get("parent", ""))
+        parent_name = parent.get("name", "") if parent is not None else ""
+        key = (e.get("name", "?"), parent_name)
+        row = rows.get(key)
+        dur = float(e.get("dur", 0.0))
+        if row is None:
+            rows[key] = row = {
+                "name": key[0], "parent_name": parent_name, "count": 0,
+                "total_s": 0.0, "mean_s": 0.0, "max_s": 0.0, "pids": set(),
+            }
+        row["count"] += 1
+        row["total_s"] += dur
+        row["max_s"] = max(row["max_s"], dur)
+        row["pids"].add(int(e.get("pid", 0)))
+    out = []
+    for row in rows.values():
+        row["mean_s"] = row["total_s"] / row["count"]
+        row["pids"] = len(row["pids"])
+        out.append(row)
+    return sorted(out, key=lambda r: -r["total_s"])
+
+
+def _union_seconds(intervals: list[tuple[float, float]]) -> float:
+    if not intervals:
+        return 0.0
+    intervals = sorted(intervals)
+    total = 0.0
+    cur_start, cur_end = intervals[0]
+    for start, end in intervals[1:]:
+        if start > cur_end:
+            total += cur_end - cur_start
+            cur_start, cur_end = start, end
+        else:
+            cur_end = max(cur_end, end)
+    return total + (cur_end - cur_start)
+
+
+def span_coverage(events: list[dict], parent_name: str = "experiment.run") -> float:
+    """Fraction of the named parent spans' wall-time covered by children.
+
+    For each span named ``parent_name``, take the union of its *direct*
+    children's wall-clock intervals clipped to the parent's interval;
+    the returned figure is covered seconds over parent seconds, summed
+    across all matching parents (1.0 = fully covered, 0.0 when the
+    parent has no time or no children).
+    """
+    spans = [e for e in events if e.get("type") == "span"]
+    parents = {e.get("span"): e for e in spans if e.get("name") == parent_name}
+    if not parents:
+        return 0.0
+    covered = 0.0
+    total = 0.0
+    for pid_span, parent in parents.items():
+        p_start = float(parent.get("ts", 0.0))
+        p_end = p_start + float(parent.get("dur", 0.0))
+        total += p_end - p_start
+        intervals = []
+        for e in spans:
+            if e.get("parent") != pid_span:
+                continue
+            start = max(float(e.get("ts", 0.0)), p_start)
+            end = min(float(e.get("ts", 0.0)) + float(e.get("dur", 0.0)), p_end)
+            if end > start:
+                intervals.append((start, end))
+        covered += _union_seconds(intervals)
+    return covered / total if total > 0 else 0.0
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+
+def _fmt_seconds(s: float) -> str:
+    if s >= 1.0:
+        return f"{s:.2f}s"
+    if s >= 1e-3:
+        return f"{s * 1e3:.2f}ms"
+    return f"{s * 1e6:.0f}µs"
+
+
+def _histogram_lines(item: dict, width: int = 30) -> list[str]:
+    lines = [
+        f"  {metric_key(item['name'], item.get('labels', {}))}: "
+        f"count={item['count']} mean={_fmt_seconds(item['sum'] / item['count']) if item['count'] else '-'} "
+        f"min={_fmt_seconds(item['min']) if item['count'] else '-'} "
+        f"max={_fmt_seconds(item['max']) if item['count'] else '-'}"
+    ]
+    counts = item["counts"]
+    buckets = item["buckets"]
+    peak = max(counts) if counts else 0
+    if peak == 0:
+        return lines
+    lower = 0.0
+    for i, count in enumerate(counts):
+        upper = buckets[i] if i < len(buckets) else float("inf")
+        if count:
+            bar = "#" * max(1, round(width * count / peak))
+            upper_text = _fmt_seconds(upper) if upper != float("inf") else "+Inf"
+            lines.append(f"    [{_fmt_seconds(lower):>9} .. {upper_text:>9}) {count:6d} {bar}")
+        lower = upper
+    return lines
+
+
+def render_report(events: list[dict], coverage_parent: str = "experiment.run") -> str:
+    """Human-readable run report from a parsed event list."""
+    metrics = aggregate_metrics(events)
+    spans = [e for e in events if e.get("type") == "span"]
+    corrupt = sum(1 for e in events if e.get("type") == "corrupt")
+    pids = sorted({int(e.get("pid", 0)) for e in events if "pid" in e})
+    lines = [
+        "observability report",
+        "====================",
+        f"events: {len(events)} ({len(spans)} spans, "
+        f"{sum(1 for e in events if e.get('type') == 'metrics')} metric snapshots"
+        + (f", {corrupt} corrupt lines" if corrupt else "") + ")",
+        f"processes: {len(pids)}",
+    ]
+    coverage = span_coverage(events, parent_name=coverage_parent)
+    if any(e.get("name") == coverage_parent for e in spans):
+        lines.append(f"trace coverage of {coverage_parent!r}: {coverage * 100:.1f}% of wall-time")
+    if metrics["counters"]:
+        lines += ["", "counters", "--------"]
+        for item in metrics["counters"]:
+            lines.append(f"  {metric_key(item['name'], item.get('labels', {})):56s} "
+                         f"{item['value']}")
+    if metrics["gauges"]:
+        lines += ["", "gauges", "------"]
+        for item in metrics["gauges"]:
+            lines.append(f"  {metric_key(item['name'], item.get('labels', {})):56s} "
+                         f"{item['value']:g}")
+    if metrics["histograms"]:
+        lines += ["", "histograms", "----------"]
+        for item in metrics["histograms"]:
+            lines += _histogram_lines(item)
+    if spans:
+        lines += ["", "spans (by total time)", "---------------------"]
+        for row in span_tree_stats(events):
+            where = f" < {row['parent_name']}" if row["parent_name"] else ""
+            lines.append(
+                f"  {row['name'] + where:42s} n={row['count']:<5d} "
+                f"total={_fmt_seconds(row['total_s']):>9} "
+                f"mean={_fmt_seconds(row['mean_s']):>9} "
+                f"max={_fmt_seconds(row['max_s']):>9} pids={row['pids']}"
+            )
+    return "\n".join(lines)
+
+
+def export_chrome_trace(events: list[dict], out_path: str | Path) -> int:
+    """Write the Chrome ``trace_event`` JSON; returns bytes written."""
+    payload = json.dumps(chrome_trace_events(events))
+    Path(out_path).write_text(payload, encoding="utf-8")
+    return len(payload)
+
+
+def export_prometheus(events: list[dict], out_path: str | Path | None = None) -> str:
+    """Render (and optionally write) the aggregate Prometheus exposition."""
+    text = prometheus_text(aggregate_metrics(events))
+    if out_path is not None:
+        Path(out_path).write_text(text, encoding="utf-8")
+    return text

@@ -1,0 +1,279 @@
+"""Span-based tracing with cross-process context propagation.
+
+A *span* is one timed region of a run — the sweep, a trial, a CV fold,
+a profiled phase — with a name, attributes, a wall-clock start and a
+monotonic (``perf_counter``) duration.  Spans nest through a
+thread-local stack: ``span("trial")`` opened inside ``span("run")``
+records ``run`` as its parent, so the JSONL event log reconstructs the
+full tree.
+
+Cross-process stitching
+-----------------------
+``repro.parallel`` pool workers are separate processes with separate
+span stacks.  The parent captures :func:`propagated_context` — a small
+picklable :class:`SpanContext` holding the active trace id, span id and
+the JSONL sink path — and ships it inside the task.  The worker wraps
+its work in :func:`adopt_context`, which
+
+1. re-opens the JSONL sink (append mode) if this process has no
+   observability configured,
+2. pushes a remote-parent marker so worker-side spans are parented to
+   the parent process's span, and
+3. on exit, flushes the worker's cumulative metrics snapshot (so
+   worker-side counters — workspace hits, fold timings — reach the
+   event log) when it did the configuring.
+
+Timestamps: ``ts`` is ``time.time()`` (comparable across processes on
+one host, what Chrome traces want); ``dur`` is measured with
+``time.perf_counter()`` (monotonic, immune to clock steps).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.obs import config as _config
+
+__all__ = [
+    "Span",
+    "SpanContext",
+    "span",
+    "current_span",
+    "propagated_context",
+    "adopt_context",
+]
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The picklable identity of an active span (plus the sink to join).
+
+    ``jsonl_path`` lets a worker process that has no observability
+    configured attach to the parent's JSONL event log; ``None`` means
+    the worker only records if it was configured independently.
+    """
+
+    trace_id: str
+    span_id: str
+    jsonl_path: str | None = None
+
+
+class _RemoteParent:
+    """Stack marker representing a span living in another process."""
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: str, span_id: str) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while observability is disabled."""
+
+    __slots__ = ()
+    trace_id = ""
+    span_id = ""
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attrs: object) -> "_NoopSpan":
+        return self
+
+    @property
+    def duration_s(self) -> float:
+        return 0.0
+
+
+_NOOP_SPAN = _NoopSpan()
+_STACK = threading.local()
+#: Pid of the process that imported this module.  Fork-started pool
+#: workers inherit the parent's value, so ``os.getpid() != _MAIN_PID``
+#: identifies worker processes; spawn-started workers re-import (the
+#: ids match) but those never inherit an enabled registry either.
+_MAIN_PID = os.getpid()
+#: Pid of the forked worker whose inherited registry was already zeroed
+#: on its first :func:`adopt_context` (see below).
+_ADOPTED_FORK_PID: int | None = None
+
+
+def _stack() -> list:
+    stack = getattr(_STACK, "spans", None)
+    if stack is None:
+        stack = _STACK.spans = []
+    return stack
+
+
+def _new_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+class Span:
+    """One timed region; use as a context manager (emits on exit)."""
+
+    __slots__ = (
+        "name", "trace_id", "span_id", "parent_id", "attrs",
+        "ts_start", "_t0", "duration_s", "_entered",
+    )
+
+    def __init__(self, name: str, attrs: dict) -> None:
+        self.name = name
+        self.attrs = attrs
+        parent = None
+        stack = _stack()
+        if stack:
+            parent = stack[-1]
+        if parent is not None:
+            self.trace_id = parent.trace_id
+            self.parent_id = parent.span_id
+        else:
+            self.trace_id = _new_id()
+            self.parent_id = ""
+        self.span_id = _new_id()
+        self.ts_start = 0.0
+        self._t0 = 0.0
+        self.duration_s = 0.0
+        self._entered = False
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach attributes (merged into the emitted event)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self.ts_start = time.time()
+        self._t0 = time.perf_counter()
+        _stack().append(self)
+        self._entered = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration_s = time.perf_counter() - self._t0
+        stack = _stack()
+        if self._entered and stack and stack[-1] is self:
+            stack.pop()
+        elif self._entered:  # pragma: no cover - mis-nested exit
+            with contextlib.suppress(ValueError):
+                stack.remove(self)
+        if exc_type is not None:
+            self.attrs.setdefault("error", f"{exc_type.__name__}: {exc}")
+        _config.emit(self.event())
+        return False
+
+    def event(self) -> dict:
+        """The JSONL event for this (finished) span."""
+        return {
+            "type": "span",
+            "name": self.name,
+            "trace": self.trace_id,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "ts": self.ts_start,
+            "dur": self.duration_s,
+            "pid": os.getpid(),
+            "tid": threading.get_ident() % 2**31,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, span_id={self.span_id}, parent={self.parent_id or None})"
+
+
+def span(name: str, **attrs: object):
+    """Open a span (``with obs.span("trial", trial_id=3): ...``).
+
+    Returns a shared no-op object while observability is disabled — the
+    fast path allocates nothing beyond the caller's ``**attrs`` dict.
+    """
+    if not _config.enabled():
+        return _NOOP_SPAN
+    return Span(name, attrs)
+
+
+def current_span() -> Span | None:
+    """The innermost *local* span on this thread (``None`` at top level)."""
+    stack = _stack()
+    for item in reversed(stack):
+        if isinstance(item, Span):
+            return item
+    return None
+
+
+def propagated_context() -> SpanContext | None:
+    """A picklable handle to the active span, for shipping to workers.
+
+    ``None`` when observability is disabled or no span is open — workers
+    receiving ``None`` run un-traced, exactly like today.
+    """
+    if not _config.enabled():
+        return None
+    stack = _stack()
+    if not stack:
+        return None
+    top = stack[-1]
+    path = _config.jsonl_path()
+    return SpanContext(
+        trace_id=top.trace_id,
+        span_id=top.span_id,
+        jsonl_path=str(path) if path is not None else None,
+    )
+
+
+@contextlib.contextmanager
+def adopt_context(ctx: SpanContext | None) -> Iterator[None]:
+    """Parent this thread's spans to a context from another process.
+
+    Inside the block, new spans carry ``ctx.trace_id`` and are parented
+    to ``ctx.span_id``.  If this process has no observability configured
+    and the context names a JSONL path, a sink is attached for the
+    duration (and the worker's cumulative metrics snapshot is flushed on
+    exit) — this is how pool workers stitch their fold spans and
+    workspace counters into the parent trace.
+
+    ``adopt_context(None)`` is a no-op, so call sites need no branching.
+    """
+    if ctx is None:
+        yield None
+        return
+    configured_here = False
+    if not _config.enabled() and ctx.jsonl_path is not None:
+        _config.configure(jsonl_path=ctx.jsonl_path)
+        configured_here = True
+    elif _config.enabled() and os.getpid() != _MAIN_PID:
+        global _ADOPTED_FORK_PID
+        if _ADOPTED_FORK_PID != os.getpid():
+            # First adoption in a fork-started worker: the registry is a
+            # copy of the parent's pre-fork counts.  Zero it (identities
+            # are kept) so this pid's cumulative snapshots report only
+            # work done here and per-pid sums stay exact.
+            _config.registry().reset()
+            _ADOPTED_FORK_PID = os.getpid()
+    stack = _stack()
+    marker = _RemoteParent(ctx.trace_id, ctx.span_id)
+    stack.append(marker)
+    try:
+        yield None
+    finally:
+        with contextlib.suppress(ValueError):
+            stack.remove(marker)
+        if configured_here:
+            # Ship this worker's counters home, then detach: the next
+            # task re-adopts (snapshots are cumulative per pid, so the
+            # report layer keeps only the last one).
+            _config.shutdown(final_snapshot=True)
+        elif ctx.jsonl_path is not None and os.getpid() != _MAIN_PID:
+            # Fork-started pool workers inherit an enabled registry and
+            # the parent's (append-mode) sink, so ``configured_here``
+            # never trips — still ship a cumulative snapshot after each
+            # task or worker-side counters would be lost.
+            _config.flush()

@@ -28,6 +28,8 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
+from repro.obs import config as _obs
+
 __all__ = [
     "Executor",
     "SerialExecutor",
@@ -41,6 +43,12 @@ R = TypeVar("R")
 
 #: Errors that must never be swallowed by resilient maps.
 _FATAL = (KeyboardInterrupt, SystemExit, GeneratorExit, MemoryError)
+
+# Cached observability handles (no-ops until ``repro.obs.configure``).
+_QUEUE_DEPTH = _obs.gauge("repro_executor_queue_depth")
+_POOL_DEATHS = _obs.counter("repro_executor_pool_deaths_total")
+_REQUEUED = _obs.counter("repro_executor_requeued_items_total")
+_DEGRADED = _obs.counter("repro_executor_degraded_total")
 
 
 @dataclass
@@ -86,7 +94,28 @@ def _run_item_serial(fn: Callable[[T], R], index: int, item: T, retries: int) ->
 
 
 class Executor:
-    """Interface: ordered map over independent tasks."""
+    """Interface: ordered map over independent tasks.
+
+    Lifecycle: an executor is open from construction until the single
+    permitted :meth:`close` (called directly or by ``with``-block exit).
+    Mapping on a closed executor, or closing twice, raises a clear
+    ``RuntimeError`` instead of surfacing a raw pool error — create a
+    fresh executor via :func:`make_executor` instead of reusing one.
+    """
+
+    _closed = False
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                f"{type(self).__name__} is closed; executors are single-use — "
+                f"create a new one with make_executor() instead of reusing it"
+            )
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
         """Apply ``fn`` to every item, preserving input order."""
@@ -102,12 +131,24 @@ class Executor:
         ``MemoryError`` — still raise).  ``retries`` re-runs a failing
         item up to that many extra times before recording the error.
         """
+        self._ensure_open()
         return [_run_item_serial(fn, i, item, retries) for i, item in enumerate(items)]
 
+    def _release(self) -> None:
+        """Free backend resources (hook for subclasses)."""
+
     def close(self) -> None:
-        """Release resources (no-op by default)."""
+        """Release resources.  A second close raises ``RuntimeError``."""
+        if self._closed:
+            raise RuntimeError(
+                f"{type(self).__name__}.close() called twice — executors close "
+                f"exactly once (the context manager already closes on exit)"
+            )
+        self._closed = True
+        self._release()
 
     def __enter__(self) -> "Executor":
+        self._ensure_open()
         return self
 
     def __exit__(self, *exc: object) -> None:
@@ -118,6 +159,7 @@ class SerialExecutor(Executor):
     """In-process sequential execution (deterministic, zero overhead)."""
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        self._ensure_open()
         return [fn(item) for item in items]
 
 
@@ -201,16 +243,21 @@ class ProcessPoolExecutorBackend(Executor):
     def _record_pool_death(self) -> None:
         self.pool_deaths += 1
         self._consecutive_deaths += 1
+        _POOL_DEATHS.inc()
         self._discard_pool()
         if self._consecutive_deaths >= self.max_pool_deaths:
+            if not self.degraded:
+                _DEGRADED.inc()
             self.degraded = True
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        self._ensure_open()
         if not items:
             return []  # avoid spinning up workers for an empty sweep
         if self.degraded:  # too many pool deaths: honest serial fallback
             return [fn(item) for item in items]
         pool = self._ensure_pool()
+        _QUEUE_DEPTH.set(len(items))
         try:
             results = list(pool.map(fn, items, chunksize=self._effective_chunksize(len(items))))
         except BrokenProcessPool:
@@ -219,6 +266,8 @@ class ProcessPoolExecutorBackend(Executor):
             # re-raise: plain map is fail-fast by contract.
             self._record_pool_death()
             raise
+        finally:
+            _QUEUE_DEPTH.set(0)
         self._consecutive_deaths = 0
         return results
 
@@ -236,6 +285,7 @@ class ProcessPoolExecutorBackend(Executor):
           remaining items run serially in this process (degraded mode,
           reported via :attr:`stats`).
         """
+        self._ensure_open()
         if not items:
             return []
         results: dict[int, MapItemResult] = {}
@@ -243,6 +293,7 @@ class ProcessPoolExecutorBackend(Executor):
         requeues = {i: 0 for i in pending}
         attempts = {i: 0 for i in pending}
         while pending:
+            _QUEUE_DEPTH.set(len(pending))
             if self.degraded:
                 for i in pending:
                     result = _run_item_serial(fn, i, items[i], retries)
@@ -301,12 +352,14 @@ class ProcessPoolExecutorBackend(Executor):
             if broken:
                 self._record_pool_death()
                 self.requeued_items += len(still_pending)
+                _REQUEUED.inc(len(still_pending))
             else:
                 self._consecutive_deaths = 0
             pending = sorted(still_pending)
+        _QUEUE_DEPTH.set(0)
         return [results[i] for i in range(len(items))]
 
-    def close(self) -> None:
+    def _release(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+import repro.obs as obs
 from repro.graph.flops import node_flops
 from repro.graph.ir import OpType
 from repro.graph.trace import trace_model
@@ -82,10 +83,12 @@ class LayerProfiler:
             for name, fn in self._stages():
                 best = float("inf")
                 out = None
-                for _ in range(repeats):
-                    begin = time.perf_counter()
-                    out = fn(current)
-                    best = min(best, time.perf_counter() - begin)
+                with obs.span("profile.stage", stage=name, repeats=repeats):
+                    for _ in range(repeats):
+                        begin = time.perf_counter()
+                        out = fn(current)
+                        best = min(best, time.perf_counter() - begin)
+                obs.histogram("repro_profile_stage_seconds", stage=name).observe(best)
                 profiles.append(
                     LayerProfile(name=name, seconds=best, flops=stage_flops.get(name, 0) * batch)
                 )
@@ -184,7 +187,7 @@ def profile_training_step(
     model.train()
     forward_s = backward_s = optimizer_s = 0.0
     context = use_workspaces() if workspaces else contextlib.nullcontext()
-    with context as pool:
+    with obs.span("profile.train_step", steps=steps, batch=batch), context as pool:
         for _ in range(steps):
             optimizer.zero_grad()
             t0 = time.perf_counter()
@@ -200,6 +203,9 @@ def profile_training_step(
         stats = pool.stats() if pool is not None else {
             "hits": 0, "misses": 0, "peak_bytes": 0, "free_bytes": 0, "shapes": 0,
         }
+    for phase, seconds in (("forward", forward_s), ("backward", backward_s),
+                           ("optimizer", optimizer_s)):
+        obs.histogram("repro_train_phase_seconds", phase=phase).observe(seconds)
     return TrainingStepProfile(
         steps=steps,
         batch=batch,

@@ -84,6 +84,7 @@ class WorkspacePool(_PoolBase):
         self.misses = 0
         self._total_bytes = 0
         self.peak_bytes = 0
+        self._metrics_collector = None  # see publish_metrics()
 
     def acquire(self, shape: tuple[int, ...]) -> np.ndarray:
         """A float32 array of ``shape`` with **undefined contents**."""
@@ -124,6 +125,45 @@ class WorkspacePool(_PoolBase):
             "free_bytes": self.free_bytes(),
             "shapes": len(self._free),
         }
+
+    def publish_metrics(self, pool_name: str = "default") -> None:
+        """Register this pool with the process-wide metrics registry.
+
+        Registers a *collector* (see
+        :meth:`repro.obs.MetricsRegistry.add_collector`) that refreshes
+        the gauges ``repro_workspace_hits``, ``repro_workspace_misses``,
+        ``repro_workspace_pooled_bytes`` and
+        ``repro_workspace_peak_bytes`` (all labeled ``pool=pool_name``)
+        from this pool's counters at snapshot time — the acquire/release
+        hot path stays untouched.  Idempotent per pool instance.
+        """
+        from repro.obs import config as _obs
+
+        if getattr(self, "_metrics_collector", None) is not None:
+            return
+        registry = _obs.registry()
+        hits = registry.gauge("repro_workspace_hits", pool=pool_name)
+        misses = registry.gauge("repro_workspace_misses", pool=pool_name)
+        pooled = registry.gauge("repro_workspace_pooled_bytes", pool=pool_name)
+        peak = registry.gauge("repro_workspace_peak_bytes", pool=pool_name)
+
+        def _collect() -> None:
+            hits.set(self.hits)
+            misses.set(self.misses)
+            pooled.set(self.free_bytes())
+            peak.set(self.peak_bytes)
+
+        self._metrics_collector = _collect
+        registry.add_collector(_collect)
+
+    def unpublish_metrics(self) -> None:
+        """Remove this pool's collector from the process-wide registry."""
+        from repro.obs import config as _obs
+
+        collector = getattr(self, "_metrics_collector", None)
+        if collector is not None:
+            _obs.registry().remove_collector(collector)
+            self._metrics_collector = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         s = self.stats()

@@ -117,22 +117,25 @@ class TestTrainingEvaluator:
         assert evaluator._dataset(5) is evaluator._dataset(5)
         assert evaluator._dataset(5) is not evaluator._dataset(7)
 
-    def test_evaluate_many_equals_sequential_evaluates(self):
+    def test_batched_evaluate_equals_sequential_evaluates(self):
         evaluator = TrainingEvaluator(samples_per_class=2, patch_size=24, epochs=1, k=2,
                                       regions=["nebraska"], seed=0)
         configs = [_config(), _config(channels=7)]
-        batched = evaluator.evaluate_many(configs)
+        outcomes = evaluator.evaluate(configs)
+        assert all(o.ok and o.config == c for o, c in zip(outcomes, configs))
         sequential = [evaluator.evaluate(c) for c in configs]
-        assert batched == sequential  # per-trial seeds are content-derived
+        assert [o.unwrap() for o in outcomes] == sequential  # content-derived seeds
 
-    def test_evaluate_many_process_pool_matches_serial(self):
+    def test_batched_evaluate_process_pool_matches_serial(self):
         serial = TrainingEvaluator(samples_per_class=2, patch_size=24, epochs=1, k=2,
                                    regions=["nebraska"], seed=0)
         with TrainingEvaluator(samples_per_class=2, patch_size=24, epochs=1, k=2,
                                regions=["nebraska"], seed=0,
                                executor="process", workers=2) as pooled:
             configs = [_config(), _config(batch=8)]
-            assert pooled.evaluate_many(configs) == [serial.evaluate(c) for c in configs]
+            outcomes = pooled.evaluate(configs)
+            assert [o.unwrap() for o in outcomes] == [serial.evaluate(c) for c in configs]
+            assert all(o.duration_s > 0 for o in outcomes)
 
     def test_learns_better_than_chance_with_budget(self):
         # A slightly bigger run: the model must beat coin-flipping on
