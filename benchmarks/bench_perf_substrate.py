@@ -27,6 +27,7 @@ from repro.nn.resnet import SearchableResNet18, build_model
 from repro.onnxlite.export import export_model
 from repro.pareto.dominance import non_dominated_mask, non_dominated_mask_kung
 from repro.profiling import profile_training_step
+from repro.serve import BatchPolicy, PlanServer, run_load, serial_baseline
 from repro.tensor import Tensor, WorkspacePool, conv2d, use_workspaces
 from repro.tensor import conv_ops
 from repro.tensor.tensor import no_grad
@@ -534,6 +535,91 @@ class TestTrainingThroughput:
         print(f"\nfold-parallel CV: {parallel_s * 1e3:.0f} ms (process x2) "
               f"vs serial — accuracies {serial_accs}")
         assert parallel_accs == serial_accs  # bitwise, not approximately
+
+
+class TestServingThroughput:
+    """Micro-batching server vs serial single-image compiled inference.
+
+    The serving layer's reason to exist is batched GEMM efficiency: at
+    the 24x24 deployment tile the merged-batch convolution path turns
+    many small matmuls into a few large ones, and the batcher is what
+    actually delivers full batches to it under concurrent load.
+    """
+
+    HW = 24
+
+    @pytest.fixture(scope="class")
+    def serve_plan(self, winner_model):
+        """Compiled plan for the winner architecture at the 24x24 tile.
+
+        The module-scoped ``winner_plan`` is exported at the paper's
+        100x100 patch; serving targets the deployment tile where the
+        batch-merged convolution path engages (spatial positions <=
+        ``BATCH_MERGED_MAX_POSITIONS``), so this compiles its own.
+        """
+        return load_runtime(export_model(winner_model, (self.HW, self.HW))).compile()
+
+    def test_server_throughput_vs_serial(self, benchmark, serve_plan):
+        """The server sustains >= 2x serial single-image throughput.
+
+        Tolerance rationale: at the 24x24 tile the batch-merged GEMM
+        measures ~2.7x raw single-image throughput at batch 8 and ~3.0x
+        at batch 16 locally, and the full server (queueing, padding,
+        result scatter) lands at ~2.5-2.9x; 2.0x leaves headroom for
+        noisy CI machines while still failing if micro-batching stops
+        forming large batches or the merged convolution path regresses.
+        Serial and served rounds are timed *paired and interleaved* and
+        compared by the median per-round ratio, per the repo convention,
+        so a global machine-speed drift cannot dominate the comparison.
+        """
+        policy = BatchPolicy(max_batch_size=16, max_queue_delay_ms=5.0,
+                             max_queue_depth=64, replicas=1)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=serve_plan.input_shape).astype(np.float32)
+
+        with PlanServer(serve_plan, policy=policy) as server:
+            # Correctness spot-check: one served request matches the
+            # serial compiled path on the same image.
+            served_out = server.infer(x)
+            serial_out = serve_plan.replicate().run(x[None])[0]
+            np.testing.assert_allclose(served_out, serial_out, rtol=1e-3, atol=1e-4)
+
+            allocations_after_warm = server.cache.arena_allocations()
+            rounds = []
+            for _ in range(3):
+                baseline = serial_baseline(serve_plan.replicate(), duration_s=0.5, seed=0)
+                report = run_load(server, duration_s=1.0, clients=32, seed=0)
+                rounds.append((report.throughput_ips / baseline.throughput_ips,
+                               baseline, report))
+            rounds.sort(key=lambda r: r[0])
+            speedup, baseline, report = rounds[len(rounds) // 2]
+            # Steady state: warmup covered every (bucket, replica) pair,
+            # so the load phase allocated nothing new in any arena.
+            assert server.cache.arena_allocations() == allocations_after_warm
+
+        assert report.errors == 0
+        assert report.mean_batch_size >= 8.0, (
+            f"micro-batcher should form large batches under 32 concurrent "
+            f"clients: mean batch {report.mean_batch_size:.1f}"
+        )
+        assert speedup >= 2.0, (
+            f"serving should be >= 2x serial single-image inference: "
+            f"median paired round serial {baseline.throughput_ips:.0f} "
+            f"images/s vs served {report.throughput_ips:.0f} images/s "
+            f"({speedup:.2f}x)"
+        )
+
+        if not getattr(benchmark, "disabled", False):
+            # Artifact timing of one served request under no load (the
+            # assert above is drawn from the paired rounds, not this).
+            with PlanServer(serve_plan, policy=policy) as artifact_server:
+                benchmark(artifact_server.infer, x)
+        benchmark.extra_info["serving_throughput_ips"] = round(report.throughput_ips, 1)
+        benchmark.extra_info["serial_throughput_ips"] = round(baseline.throughput_ips, 1)
+        benchmark.extra_info["speedup_vs_serial"] = round(speedup, 2)
+        benchmark.extra_info["latency_ms_p50"] = round(report.latency_ms_p50, 3)
+        benchmark.extra_info["latency_ms_p99"] = round(report.latency_ms_p99, 3)
+        benchmark.extra_info["mean_batch_size"] = round(report.mean_batch_size, 2)
 
 
 class TestDataPerformance:

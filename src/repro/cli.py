@@ -14,6 +14,14 @@ Subcommands
     Predict one configuration's latency on all four device profiles.
 ``profile``
     Per-layer wall-time profile of one configuration (real forward pass).
+``infer``
+    One-shot deploy inference timing (compiled plan by default,
+    ``--no-compiled`` for the interpreted reference).
+``serve-bench``
+    Load-generator benchmark of the :mod:`repro.serve` micro-batching
+    server: throughput, p50/p99 latency, speedup vs the serial
+    single-image baseline; ``--json`` for a CI artifact, ``--obs-log``
+    for the metrics JSONL.
 ``obs``
     Render or export an observability JSONL log (``repro obs report`` /
     ``repro obs export``); logs are produced by ``sweep --obs-log`` or
@@ -208,6 +216,117 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_infer(args: argparse.Namespace) -> int:
+    import time
+
+    import numpy as np
+
+    from repro.deploy import load_runtime
+    from repro.nn.resnet import build_model
+    from repro.onnxlite.export import export_model
+
+    config = _config_from_args(args)
+    runtime = load_runtime(export_model(build_model(config), input_hw=(args.size, args.size)))
+    rng = np.random.default_rng(args.seed)
+    x = rng.standard_normal((args.batch, config.channels, args.size, args.size)).astype("float32")
+    compiled = args.compiled
+    runtime.run(x, compiled=compiled)  # warm (also compiles the plan once)
+    timings = []
+    for _ in range(args.runs):
+        t0 = time.perf_counter()
+        out = runtime.run(x, compiled=compiled)
+        timings.append(time.perf_counter() - t0)
+    best = min(timings)
+    mode = "compiled plan" if compiled else "interpreted"
+    print(f"{mode}: batch {args.batch} @ {args.size}x{args.size}, best of {args.runs}: "
+          f"{best * 1e3:.2f} ms ({args.batch / best:.1f} images/sec)")
+    print(f"logits[0]: {np.array2string(out[0], precision=4)}")
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import json
+
+    import repro.obs as obs
+    from repro.deploy import load_runtime
+    from repro.graph.trace import trace_model
+    from repro.nn.resnet import build_model
+    from repro.onnxlite.export import export_model
+    from repro.serve import (
+        BatchPolicy,
+        PlanServer,
+        run_load,
+        serial_baseline,
+        suggest_batch_policy,
+    )
+
+    if args.obs_log:
+        obs.configure(jsonl_path=args.obs_log, reset_metrics=True)
+    config = _config_from_args(args)
+    model = build_model(config)
+    runtime = load_runtime(export_model(model, input_hw=(args.size, args.size)))
+    plan = runtime.compile()
+    if args.target_p99_ms > 0:
+        policy = suggest_batch_policy(
+            trace_model(model, input_hw=(args.size, args.size)),
+            target_p99_ms=args.target_p99_ms,
+            replicas=args.replicas,
+        )
+        print(f"policy seeded from latency predictors (target p99 {args.target_p99_ms} ms): "
+              f"max_batch={policy.max_batch_size}, "
+              f"max_delay={policy.max_queue_delay_ms:.2f} ms, "
+              f"queue_depth={policy.max_queue_depth}")
+    else:
+        policy = BatchPolicy(
+            max_batch_size=args.max_batch,
+            max_queue_delay_ms=args.max_delay_ms,
+            max_queue_depth=args.queue_depth,
+            replicas=args.replicas,
+        )
+    baseline = serial_baseline(plan.replicate(), duration_s=min(1.0, args.duration / 2))
+    try:
+        with PlanServer(plan, policy=policy) as server:
+            report = run_load(
+                server,
+                duration_s=args.duration,
+                clients=args.clients,
+                arrival_rate_ips=args.rate or None,
+                seed=args.seed,
+            )
+            stats = server.stats()
+    finally:
+        if args.obs_log:
+            obs.shutdown()
+    speedup = (report.throughput_ips / baseline.throughput_ips
+               if baseline.throughput_ips else float("nan"))
+    print(f"serial baseline: {baseline.throughput_ips:.1f} images/sec "
+          f"(p50 {baseline.latency_ms_p50:.2f} ms)")
+    print(report.render())
+    print(f"  speedup     {speedup:.2f}x vs serial single-image")
+    print(f"  cache       hits {stats['hits']}  misses {stats['misses']}  "
+          f"rejected {stats['rejected']}")
+    if args.obs_log:
+        print(f"observability log written to {args.obs_log} "
+              f"(render with: repro-nas obs report {args.obs_log})")
+    if args.json:
+        payload = {
+            "serving": report.as_dict(),
+            "serial_baseline": baseline.as_dict(),
+            "speedup_vs_serial": round(speedup, 3),
+            "policy": {
+                "max_batch_size": policy.max_batch_size,
+                "max_queue_delay_ms": round(policy.max_queue_delay_ms, 3),
+                "max_queue_depth": policy.max_queue_depth,
+                "replicas": policy.replicas,
+            },
+            "input_hw": args.size,
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"JSON written to {args.json}")
+    return 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs import export_chrome_trace, export_prometheus, read_events, render_report
 
@@ -274,6 +393,48 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--size", type=int, default=64, help="input patch size")
     profile.add_argument("--profile-batch", type=int, default=4)
 
+    infer = sub.add_parser("infer", help="run inference on one config (deploy runtime)")
+    _add_config_arguments(infer)
+    infer.add_argument("--size", type=int, default=24,
+                       help="spatial input size (deployment tile)")
+    infer.add_argument("--runs", type=int, default=5, help="timed repetitions")
+    infer.add_argument("--seed", type=int, default=0)
+    infer.add_argument("--compiled", action=argparse.BooleanOptionalAction, default=True,
+                       help="execute through the compiled InferencePlan "
+                            "(--no-compiled for the interpreted reference; "
+                            "both paths agree within rtol=1e-3/atol=1e-4)")
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="closed/open-loop load benchmark of the micro-batching server")
+    _add_config_arguments(serve_bench)
+    serve_bench.add_argument("--size", type=int, default=24,
+                             help="spatial input size (deployment tile)")
+    serve_bench.add_argument("--duration", type=float, default=3.0,
+                             help="load-generation length in seconds")
+    serve_bench.add_argument("--clients", type=int, default=32,
+                             help="concurrent client threads")
+    serve_bench.add_argument("--rate", type=float, default=0.0,
+                             help="aggregate open-loop arrival rate in images/sec "
+                                  "(0 = closed loop)")
+    serve_bench.add_argument("--replicas", type=int, default=1,
+                             help="plan replicas / worker threads")
+    serve_bench.add_argument("--max-batch", type=int, default=16,
+                             help="micro-batcher coalescing limit")
+    serve_bench.add_argument("--max-delay-ms", type=float, default=5.0,
+                             help="deadline before a partial batch is flushed")
+    serve_bench.add_argument("--queue-depth", type=int, default=64,
+                             help="backpressure high-water mark")
+    serve_bench.add_argument("--target-p99-ms", type=float, default=0.0,
+                             help="seed the batch policy from the device latency "
+                                  "predictors against this p99 budget "
+                                  "(overrides --max-batch/--max-delay-ms/--queue-depth)")
+    serve_bench.add_argument("--seed", type=int, default=0)
+    serve_bench.add_argument("--obs-log", default="",
+                             help="write an observability JSONL log here")
+    serve_bench.add_argument("--json", default="",
+                             help="write the throughput/latency report as JSON here")
+
     obs_parser = sub.add_parser("obs", help="inspect an observability JSONL log")
     obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
     obs_report = obs_sub.add_parser("report", help="render counters, histograms and span tree")
@@ -299,6 +460,8 @@ _COMMANDS = {
     "energy": _cmd_energy,
     "quantize": _cmd_quantize,
     "profile": _cmd_profile,
+    "infer": _cmd_infer,
+    "serve-bench": _cmd_serve_bench,
     "obs": _cmd_obs,
 }
 

@@ -14,9 +14,28 @@ stand-in, with two execution paths:
   table shared with :mod:`repro.latency.fusion`, pre-bound kernel
   closures, and static arena memory planning (see
   ``tests/test_deploy_plan.py`` and DEVELOPMENT.md).
+
+Plans are single-threaded by design (one arena each); concurrent
+serving replicates them (:meth:`InferencePlan.replicate` — weights
+shared, arenas private) behind the micro-batching server in
+:mod:`repro.serve`.  Misuse raises :class:`ConcurrentPlanError`.
 """
 
-from repro.deploy.plan import Arena, InferencePlan, compile_plan
+from repro.deploy.plan import (
+    Arena,
+    BATCH_MERGED_MAX_POSITIONS,
+    ConcurrentPlanError,
+    InferencePlan,
+    compile_plan,
+)
 from repro.deploy.runtime import OnnxliteRuntime, load_runtime
 
-__all__ = ["Arena", "InferencePlan", "OnnxliteRuntime", "compile_plan", "load_runtime"]
+__all__ = [
+    "Arena",
+    "BATCH_MERGED_MAX_POSITIONS",
+    "ConcurrentPlanError",
+    "InferencePlan",
+    "OnnxliteRuntime",
+    "compile_plan",
+    "load_runtime",
+]

@@ -89,6 +89,8 @@ class OnnxliteRuntime:
         # Quantized payloads are dequantized once at load time (the
         # runtime computes in fp32, like OpenVINO's CPU fallback path).
         self._weights = {t.name: t.dequantized() for t in proto.initializers}
+        #: Lazily compiled plan backing ``run(..., compiled=True)``.
+        self._plan: "InferencePlan | None" = None
         #: Live-environment footprint of the most recent :meth:`run`
         #: (every intermediate stays alive — the figure the compiled
         #: plan's arena is measured against).
@@ -136,6 +138,11 @@ class OnnxliteRuntime:
 
         return compile_plan(self.proto, self._weights, poison=poison)
 
+    @property
+    def fingerprint(self) -> str:
+        """Stable content hash of the model (see :meth:`ModelProto.fingerprint`)."""
+        return self.proto.fingerprint()
+
     # -- execution ---------------------------------------------------------------
 
     def _execute(self, op: OperatorProto, inputs: list[np.ndarray]) -> np.ndarray:
@@ -174,19 +181,35 @@ class OnnxliteRuntime:
             return _as_f32(inputs[0] + inputs[1])
         raise AssertionError(f"unreachable operator {kind}")  # pragma: no cover
 
-    def run(self, x: np.ndarray) -> np.ndarray:
+    def run(self, x: np.ndarray, *, compiled: bool = False) -> np.ndarray:
         """Run inference on a batch.
 
         Parameters
         ----------
         x:
             ``(N, C, H, W)`` float input matching the model's input shape.
+        compiled:
+            Execute through a cached :class:`InferencePlan` instead of
+            interpreter dispatch — compiled lazily on first use, then
+            reused, so deploy callers get plan-level performance from
+            the plain ``run`` API.  **Equivalence guarantee:** the
+            compiled path agrees with the interpreted reference within
+            ``rtol=1e-3, atol=1e-4`` for every architecture the
+            exporter can emit (fp32 and quantized); this is enforced by
+            the fuzzed suites in ``tests/test_deploy_plan.py`` and
+            ``tests/test_serve.py``.  The compiled path requires the
+            exported spatial input size (the interpreter accepts any
+            H, W); it falls back with a clear error otherwise.
 
         Returns
         -------
         np.ndarray
             The output logits, shape ``(N, *output_shape)``.
         """
+        if compiled:
+            if self._plan is None:
+                self._plan = self.compile()
+            return self._plan.run(x)
         started = time.perf_counter()
         x = np.asarray(x, dtype=np.float32)
         expected_c = self.proto.input_shape[0]

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import hashlib
+
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -95,3 +97,31 @@ class ModelProto:
     def parameter_count(self) -> int:
         """Total scalar parameters across initializers."""
         return sum(t.data.size for t in self.initializers)
+
+    def fingerprint(self) -> str:
+        """A stable content hash of the model (topology + weights).
+
+        Hashes the graph name, I/O shapes, every operator (type, attrs,
+        dataflow names), and every initializer's payload bytes plus its
+        quantization parameters.  Two models with the same fingerprint
+        compile to behaviourally identical plans, which is what lets the
+        serving layer key its plan/arena cache on
+        ``(fingerprint, batch bucket)``.  Cached after the first call.
+        """
+        cached = getattr(self, "_fingerprint_cache", None)
+        if isinstance(cached, str):
+            return cached
+        h = hashlib.sha256()
+        h.update(self.name.encode())
+        h.update(repr((tuple(self.input_shape), tuple(self.output_shape))).encode())
+        for op in self.operators:
+            h.update(
+                repr((op.name, op.op_type, tuple(op.inputs), tuple(op.outputs),
+                      sorted(op.attrs.items()))).encode()
+            )
+        for t in self.initializers:
+            h.update(repr((t.name, t.dtype, t.data.shape, t.scale, t.zero_point)).encode())
+            h.update(memoryview(np.ascontiguousarray(t.data)).cast("B"))
+        digest = h.hexdigest()
+        self._fingerprint_cache = digest
+        return digest

@@ -13,6 +13,7 @@ from repro.parallel.executor import (
     MapItemResult,
     ProcessPoolExecutorBackend,
     SerialExecutor,
+    ThreadPoolExecutorBackend,
     make_executor,
 )
 from repro.parallel.partition import chunk_evenly, chunk_fixed
@@ -21,6 +22,7 @@ from repro.parallel.scheduler import lpt_schedule
 __all__ = [
     "Executor",
     "SerialExecutor",
+    "ThreadPoolExecutorBackend",
     "ProcessPoolExecutorBackend",
     "MapItemResult",
     "make_executor",

@@ -1,0 +1,55 @@
+"""Throughput-oriented serving over compiled inference plans.
+
+The paper's end goal is *deployment* of the Pareto-optimal models on
+resource-limited devices; this package is the request path for that —
+the layer that turns one-shot :meth:`InferencePlan.run` calls into a
+server that batches, parallelizes, and sheds load:
+
+- :class:`MicroBatcher` — dynamic micro-batching with deadline flush,
+  bounded-queue backpressure (:class:`ServerOverloaded`), graceful drain;
+- :class:`PlanCache` — warm plan replicas + pinned input buffers keyed
+  by ``(model fingerprint, batch bucket)`` with power-of-two padding,
+  so steady-state serving performs zero arena allocations;
+- :class:`PlanServer` — N worker threads, each running exclusive plan
+  replicas (weights shared, arenas private);
+- :class:`BatchPolicy` / :func:`suggest_batch_policy` — batching knobs,
+  optionally seeded from the device latency predictors against a p99
+  budget;
+- :func:`run_load` / :func:`serial_baseline` — closed/open-loop load
+  generation and the single-stream reference for throughput ratios.
+
+Everything is instrumented through :mod:`repro.obs` (queue depth,
+batch-size / queue-wait / end-to-end latency histograms, served and
+rejected counters) — enable with ``repro.obs.configure()``.
+"""
+
+from repro.serve.batcher import MicroBatcher, Request, ServerOverloaded
+from repro.serve.cache import CachedPlan, PlanCache
+from repro.serve.loadgen import LoadReport, run_load, serial_baseline
+from repro.serve.policy import (
+    BatchPolicy,
+    bucket_for,
+    plan_buckets,
+    predicted_batch_ms,
+    suggest_batch_policy,
+    suggest_max_batch_size,
+)
+from repro.serve.server import PlanServer
+
+__all__ = [
+    "BatchPolicy",
+    "CachedPlan",
+    "LoadReport",
+    "MicroBatcher",
+    "PlanCache",
+    "PlanServer",
+    "Request",
+    "ServerOverloaded",
+    "bucket_for",
+    "plan_buckets",
+    "predicted_batch_ms",
+    "run_load",
+    "serial_baseline",
+    "suggest_batch_policy",
+    "suggest_max_batch_size",
+]

@@ -1,0 +1,175 @@
+"""Dynamic micro-batching: coalesce single-image requests into batches.
+
+The batcher is the request-path front of :class:`repro.serve.PlanServer`:
+producers call :meth:`MicroBatcher.submit` and get a future; worker
+threads call :meth:`MicroBatcher.next_batch` and receive FIFO batches
+formed under the policy's ``max_batch_size`` / ``max_queue_delay_ms``
+knobs.  Backpressure is a bounded queue — past the high-water mark,
+``submit`` raises :class:`ServerOverloaded` so overload sheds load at
+the edge instead of growing latency without bound.  Shutdown is a
+graceful drain: after :meth:`close`, queued requests still come out of
+``next_batch`` in arrival order until the queue is empty, then workers
+see ``None``.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+import repro.obs as obs
+
+__all__ = ["MicroBatcher", "Request", "ServerOverloaded"]
+
+# Cached observability handles (no-ops until ``repro.obs.configure``).
+_QUEUE_DEPTH = obs.gauge("repro_serve_queue_depth")
+_REJECTED = obs.counter("repro_serve_requests_rejected_total")
+
+
+class ServerOverloaded(RuntimeError):
+    """The bounded request queue is at its high-water mark.
+
+    Raised by :meth:`MicroBatcher.submit` (and therefore
+    :meth:`repro.serve.PlanServer.submit`).  Clients should back off or
+    shed the request; the load generator counts these as rejections.
+    """
+
+
+@dataclass
+class Request:
+    """One queued inference request."""
+
+    x: np.ndarray
+    enqueued_at: float
+    future: Future = field(default_factory=Future)
+
+
+class MicroBatcher:
+    """Bounded FIFO request queue with deadline-driven batch formation.
+
+    A batch is released to a waiting worker as soon as either
+
+    - ``max_batch_size`` requests are queued (full batch), or
+    - the *oldest* queued request has waited ``max_queue_delay_ms``
+      (deadline flush — bounds the batching tax on tail latency), or
+    - the batcher is closed (drain — flush whatever is left, in order).
+
+    Thread-safe: any number of producers and consumers.
+
+    Parameters
+    ----------
+    max_batch_size, max_queue_delay_ms, max_queue_depth:
+        See :class:`repro.serve.BatchPolicy`.
+    clock:
+        Injectable monotonic clock (tests use a fake to step deadlines
+        deterministically).
+    """
+
+    def __init__(
+        self,
+        max_batch_size: int = 8,
+        max_queue_delay_ms: float = 2.0,
+        max_queue_depth: int = 128,
+        clock=time.monotonic,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_queue_depth < max_batch_size:
+            raise ValueError(
+                f"max_queue_depth ({max_queue_depth}) must be >= "
+                f"max_batch_size ({max_batch_size})"
+            )
+        self.max_batch_size = max_batch_size
+        self.max_queue_delay_s = max_queue_delay_ms / 1000.0
+        self.max_queue_depth = max_queue_depth
+        self._clock = clock
+        self._queue: collections.deque[Request] = collections.deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self.submitted = 0
+        self.rejected = 0
+
+    # -- producer side ---------------------------------------------------------
+
+    def submit(self, x: np.ndarray) -> Future:
+        """Queue one request; returns the future of its result.
+
+        Raises :class:`ServerOverloaded` past the high-water mark and
+        ``RuntimeError`` after :meth:`close`.
+        """
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("MicroBatcher is closed; no new requests accepted")
+            if len(self._queue) >= self.max_queue_depth:
+                self.rejected += 1
+                _REJECTED.inc()
+                raise ServerOverloaded(
+                    f"request queue at high-water mark ({self.max_queue_depth}); "
+                    f"back off and retry"
+                )
+            request = Request(x=x, enqueued_at=self._clock())
+            self._queue.append(request)
+            self.submitted += 1
+            _QUEUE_DEPTH.set(len(self._queue))
+            self._cond.notify()
+        return request.future
+
+    # -- consumer side ---------------------------------------------------------
+
+    def next_batch(self, poll_s: float = 0.05) -> list[Request] | None:
+        """Block until a batch is ready; ``None`` once closed *and* drained.
+
+        ``poll_s`` caps each internal wait so a closed batcher is always
+        noticed promptly even without a notify.
+        """
+        with self._cond:
+            while True:
+                if self._queue:
+                    if len(self._queue) >= self.max_batch_size or self._closed:
+                        return self._pop_batch()
+                    deadline = self._queue[0].enqueued_at + self.max_queue_delay_s
+                    remaining = deadline - self._clock()
+                    if remaining <= 0:
+                        return self._pop_batch()
+                    self._cond.wait(timeout=min(remaining, poll_s))
+                else:
+                    if self._closed:
+                        return None
+                    self._cond.wait(timeout=poll_s)
+
+    def _pop_batch(self) -> list[Request]:
+        batch = [
+            self._queue.popleft()
+            for _ in range(min(self.max_batch_size, len(self._queue)))
+        ]
+        _QUEUE_DEPTH.set(len(self._queue))
+        self._cond.notify()  # more may be ready for the next worker
+        return batch
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop accepting requests; queued ones will still be served."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def depth(self) -> int:
+        """Requests currently queued."""
+        with self._cond:
+            return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"MicroBatcher(depth={self.depth}, max_batch={self.max_batch_size}, "
+                f"delay_ms={self.max_queue_delay_s * 1e3:g}, "
+                f"submitted={self.submitted}, rejected={self.rejected})")

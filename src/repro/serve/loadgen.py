@@ -1,0 +1,225 @@
+"""Load generation and throughput reporting for the serving tier.
+
+Two modes over one :class:`~repro.serve.PlanServer`:
+
+- **closed loop** (default) — each client submits, waits for its result,
+  and immediately submits again; concurrency equals the client count.
+  This is how the CI benchmark measures peak sustainable throughput.
+- **open loop** — clients pace submissions to an aggregate arrival rate
+  (images/sec) regardless of completions, which surfaces queueing and
+  backpressure behaviour (rejections past the high-water mark).
+
+:func:`serial_baseline` measures the same model single-image,
+single-stream through :meth:`InferencePlan.run` — the reference the
+acceptance criterion's >= 2x throughput ratio is taken against.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.deploy.plan import InferencePlan
+from repro.parallel.executor import ThreadPoolExecutorBackend
+from repro.serve.batcher import ServerOverloaded
+from repro.serve.server import PlanServer
+
+__all__ = ["LoadReport", "run_load", "serial_baseline"]
+
+
+def _percentile(latencies: list[float], q: float) -> float:
+    if not latencies:
+        return float("nan")
+    return float(np.percentile(np.asarray(latencies), q))
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one load-generation run."""
+
+    duration_s: float
+    clients: int
+    served: int
+    rejected: int
+    errors: int
+    throughput_ips: float
+    latency_ms_mean: float
+    latency_ms_p50: float
+    latency_ms_p99: float
+    #: Mean effective batch size observed by the server's workers
+    #: (served images / executed batches); 0 when untracked.
+    mean_batch_size: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """JSON-ready payload (what ``serve-bench --json`` emits)."""
+        return {
+            "duration_s": round(self.duration_s, 4),
+            "clients": self.clients,
+            "served": self.served,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "throughput_ips": round(self.throughput_ips, 2),
+            "latency_ms_mean": round(self.latency_ms_mean, 3),
+            "latency_ms_p50": round(self.latency_ms_p50, 3),
+            "latency_ms_p99": round(self.latency_ms_p99, 3),
+            "mean_batch_size": round(self.mean_batch_size, 2),
+            **self.extra,
+        }
+
+    def render(self) -> str:
+        """Human-readable summary table."""
+        lines = [
+            f"load run: {self.duration_s:.2f}s, {self.clients} client(s)",
+            f"  served      {self.served}  ({self.throughput_ips:.1f} images/sec)",
+            f"  rejected    {self.rejected}",
+            f"  errors      {self.errors}",
+            f"  latency ms  mean {self.latency_ms_mean:.2f}  "
+            f"p50 {self.latency_ms_p50:.2f}  p99 {self.latency_ms_p99:.2f}",
+        ]
+        if self.mean_batch_size:
+            lines.append(f"  mean batch  {self.mean_batch_size:.2f}")
+        for key, value in self.extra.items():
+            lines.append(f"  {key}  {value}")
+        return "\n".join(lines)
+
+
+def run_load(
+    server: PlanServer,
+    duration_s: float = 2.0,
+    clients: int = 8,
+    arrival_rate_ips: float | None = None,
+    seed: int = 0,
+    image: np.ndarray | None = None,
+) -> LoadReport:
+    """Drive a server with concurrent clients and measure the outcome.
+
+    Parameters
+    ----------
+    server:
+        A running :class:`~repro.serve.PlanServer` (left open on return).
+    duration_s:
+        Wall-clock run length; in-flight requests at the deadline are
+        still awaited (they count toward latency, not throughput).
+    clients:
+        Concurrent client threads (the closed-loop concurrency level).
+    arrival_rate_ips:
+        ``None`` for closed-loop; otherwise the *aggregate* open-loop
+        arrival rate in images/sec, split evenly across clients.
+        Overload rejections are counted and backed off, not retried.
+    seed:
+        Seeds the per-client input images (distinct per client).
+    image:
+        Fixed input image to use instead of random per-client data.
+    """
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be > 0, got {duration_s}")
+    shape = server.plan.input_shape
+    # Cache acquires == executed batches (each worker batch checks out
+    # exactly one replica), so the delta gives the mean effective batch.
+    batches_before = server.cache.stats()["hits"] + server.cache.stats()["misses"]
+
+    def client(idx: int) -> tuple[list[float], int, int]:
+        rng = np.random.default_rng(seed + idx)
+        x = image if image is not None else rng.standard_normal(shape).astype(np.float32)
+        period = clients / arrival_rate_ips if arrival_rate_ips else 0.0
+        latencies: list[float] = []
+        rejected = errors = 0
+        deadline = time.monotonic() + duration_s
+        next_send = time.monotonic()
+        while True:
+            now = time.monotonic()
+            if now >= deadline:
+                break
+            if period:
+                if now < next_send:
+                    time.sleep(min(next_send - now, deadline - now))
+                    continue
+                next_send += period
+            t0 = time.monotonic()
+            try:
+                fut = server.submit(x)
+            except ServerOverloaded:
+                rejected += 1
+                time.sleep(min(0.001, duration_s / 100))
+                continue
+            if period:
+                # Open loop: detach — account the future on completion.
+                fut.add_done_callback(
+                    lambda f, t0=t0: latencies.append(time.monotonic() - t0)
+                    if f.exception() is None
+                    else None
+                )
+                continue
+            try:
+                fut.result()
+                latencies.append(time.monotonic() - t0)
+            except Exception:
+                errors += 1
+        return latencies, rejected, errors
+
+    started = time.monotonic()
+    with ThreadPoolExecutorBackend(workers=clients) as pool:
+        outcomes = pool.map(client, list(range(clients)))
+    # Let any detached open-loop futures settle before reading counters.
+    if arrival_rate_ips:
+        time.sleep(0.05)
+    elapsed = time.monotonic() - started
+
+    latencies = [lat for lats, _, _ in outcomes for lat in lats]
+    rejected = sum(r for _, r, _ in outcomes)
+    errors = sum(e for _, _, e in outcomes)
+    served = len(latencies)
+    stats = server.cache.stats()
+    batches = stats["hits"] + stats["misses"] - batches_before
+    latencies_ms = [1e3 * v for v in latencies]
+    return LoadReport(
+        duration_s=elapsed,
+        clients=clients,
+        served=served,
+        rejected=rejected,
+        errors=errors,
+        throughput_ips=served / elapsed if elapsed > 0 else 0.0,
+        latency_ms_mean=float(np.mean(latencies_ms)) if latencies_ms else float("nan"),
+        latency_ms_p50=_percentile(latencies_ms, 50),
+        latency_ms_p99=_percentile(latencies_ms, 99),
+        mean_batch_size=(served / batches) if batches else 0.0,
+    )
+
+
+def serial_baseline(
+    plan: InferencePlan,
+    duration_s: float = 1.0,
+    seed: int = 0,
+    image: np.ndarray | None = None,
+) -> LoadReport:
+    """Single-stream, single-image reference: loop ``plan.run`` for a while."""
+    shape = plan.input_shape
+    rng = np.random.default_rng(seed)
+    x = image if image is not None else rng.standard_normal(shape).astype(np.float32)
+    x1 = x[None]
+    latencies: list[float] = []
+    deadline = time.monotonic() + duration_s
+    started = time.monotonic()
+    while time.monotonic() < deadline:
+        t0 = time.monotonic()
+        plan.run(x1)
+        latencies.append(time.monotonic() - t0)
+    elapsed = time.monotonic() - started
+    latencies_ms = [1e3 * v for v in latencies]
+    return LoadReport(
+        duration_s=elapsed,
+        clients=1,
+        served=len(latencies),
+        rejected=0,
+        errors=0,
+        throughput_ips=len(latencies) / elapsed if elapsed > 0 else 0.0,
+        latency_ms_mean=float(np.mean(latencies_ms)) if latencies_ms else float("nan"),
+        latency_ms_p50=_percentile(latencies_ms, 50),
+        latency_ms_p99=_percentile(latencies_ms, 99),
+        mean_batch_size=1.0,
+    )

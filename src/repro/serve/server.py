@@ -1,0 +1,184 @@
+"""The serving tier: micro-batcher + plan replicas + bucketed cache.
+
+:class:`PlanServer` wires the pieces of :mod:`repro.serve` into a
+throughput-oriented inference server over one compiled model:
+
+.. code-block:: text
+
+    submit(img) ──► MicroBatcher (bounded FIFO, deadline flush)
+                        │ batches (≤ max_batch_size)
+          worker 0 ◄────┼────► worker N-1          (policy.replicas)
+                        │
+                 PlanCache.acquire(fingerprint, bucket)
+                        │  pad → InferencePlan.run → slice
+                 future.set_result(row)
+
+Each worker owns whatever replica it checked out for the batch's
+bucket, so plans are never shared between threads
+(:class:`~repro.deploy.ConcurrentPlanError` guards direct misuse) and
+the weights exist once regardless of replica count.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+
+import numpy as np
+
+import repro.obs as obs
+
+from repro.deploy.plan import InferencePlan
+from repro.serve.batcher import MicroBatcher, Request
+from repro.serve.cache import PlanCache
+from repro.serve.policy import BatchPolicy
+
+__all__ = ["PlanServer"]
+
+# Cached observability handles (no-ops until ``repro.obs.configure``).
+_SERVED = obs.counter("repro_serve_requests_served_total")
+_BATCHES = obs.counter("repro_serve_batches_total")
+_BATCH_SIZE = obs.histogram("repro_serve_batch_size")
+_QUEUE_WAIT = obs.histogram("repro_serve_queue_wait_seconds")
+_E2E = obs.histogram("repro_serve_e2e_latency_seconds")
+
+
+class PlanServer:
+    """Concurrent micro-batching inference server over a compiled plan.
+
+    Parameters
+    ----------
+    plan:
+        The compiled template (:func:`repro.deploy.compile_plan` /
+        :meth:`OnnxliteRuntime.compile`); replicas are stamped from it.
+    policy:
+        Batching knobs (see :class:`~repro.serve.BatchPolicy`; consider
+        :func:`~repro.serve.suggest_batch_policy` to seed them from the
+        device latency predictors).
+    warm:
+        Pre-build and pre-run one replica per (worker, bucket) so the
+        steady state performs zero arena allocations from the first
+        request (the default; disable for tests that count misses).
+
+    Use as a context manager, or call :meth:`close` — shutdown drains
+    queued requests before workers exit.
+    """
+
+    def __init__(
+        self,
+        plan: InferencePlan,
+        policy: BatchPolicy | None = None,
+        warm: bool = True,
+    ) -> None:
+        self.policy = policy or BatchPolicy()
+        self.plan = plan
+        self.batcher = MicroBatcher(
+            max_batch_size=self.policy.max_batch_size,
+            max_queue_delay_ms=self.policy.max_queue_delay_ms,
+            max_queue_depth=self.policy.max_queue_depth,
+        )
+        self.cache = PlanCache(max_batch_size=self.policy.max_batch_size)
+        self.fingerprint = self.cache.register(plan)
+        self._input_shape = plan.input_shape
+        self._closed = False
+        self._close_lock = threading.Lock()
+        if warm:
+            self.cache.warm(self.fingerprint, replicas=self.policy.replicas)
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-serve-{i}", daemon=True
+            )
+            for i in range(self.policy.replicas)
+        ]
+        for t in self._workers:
+            t.start()
+
+    # -- request path ----------------------------------------------------------
+
+    def submit(self, x: np.ndarray) -> Future:
+        """Queue one image; returns a future of its logits row.
+
+        Accepts ``(C, H, W)`` or ``(1, C, H, W)`` float-convertible
+        arrays matching the plan's compiled spatial shape.  Raises
+        :class:`~repro.serve.ServerOverloaded` under backpressure.
+        """
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim == 4 and x.shape[0] == 1:
+            x = x[0]
+        if x.shape != self._input_shape:
+            raise ValueError(
+                f"expected one image of shape {self._input_shape}, got {x.shape}"
+            )
+        return self.batcher.submit(x)
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Synchronous convenience: submit one image and wait."""
+        return self.submit(x).result()
+
+    # -- worker loop -----------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self.batcher.next_batch()
+            if batch is None:
+                return
+            self._execute(batch)
+
+    def _execute(self, batch: list[Request]) -> None:
+        n = len(batch)
+        started = time.monotonic()
+        bucket = self.cache.bucket_for(n)
+        entry = self.cache.acquire(self.fingerprint, bucket)
+        try:
+            out = entry.run_padded([r.x for r in batch])
+        except BaseException as exc:  # route the failure, don't kill the worker
+            self.cache.release(entry)
+            for r in batch:
+                r.future.set_exception(exc)
+            return
+        self.cache.release(entry)
+        done = time.monotonic()
+        _BATCHES.inc()
+        _SERVED.inc(n)
+        _BATCH_SIZE.observe(n)
+        for i, r in enumerate(batch):
+            _QUEUE_WAIT.observe(started - r.enqueued_at)
+            _E2E.observe(done - r.enqueued_at)
+            # Each future gets an independent copy so callers can't
+            # alias each other through the shared output block.
+            r.future.set_result(out[i].copy())
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self, timeout: float | None = 30.0) -> None:
+        """Graceful drain: stop intake, serve the queue, join workers."""
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.batcher.close()
+        for t in self._workers:
+            t.join(timeout=timeout)
+
+    def __enter__(self) -> "PlanServer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def stats(self) -> dict[str, int]:
+        """Counters for reports: submitted/rejected plus cache stats."""
+        return {
+            "submitted": self.batcher.submitted,
+            "rejected": self.batcher.rejected,
+            **self.cache.stats(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"PlanServer(model={self.plan.name!r}, replicas={self.policy.replicas}, "
+                f"max_batch={self.policy.max_batch_size}, closed={self._closed})")

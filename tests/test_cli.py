@@ -66,3 +66,45 @@ class TestCommands:
         ])
         assert code == 0
         assert "stem" in capsys.readouterr().out
+
+    def test_infer_compiled_and_interpreted(self, capsys):
+        base = ["infer", "--size", "24", "--batch", "4", "--runs", "1",
+                "--kernel-size", "3", "--padding", "1", "--pool-choice", "0",
+                "--initial-output-feature", "32"]
+        assert main(base) == 0
+        compiled_out = capsys.readouterr().out
+        assert "compiled plan" in compiled_out and "images/sec" in compiled_out
+        assert main(base + ["--no-compiled"]) == 0
+        interp_out = capsys.readouterr().out
+        assert "interpreted" in interp_out
+        # The equivalence guarantee in action: identical logits print.
+        logits = [line for line in compiled_out.splitlines() if "logits" in line]
+        assert logits and logits[0] in interp_out
+
+    def test_serve_bench_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "serving.json"
+        code = main([
+            "serve-bench", "--size", "24", "--duration", "0.4", "--clients", "8",
+            "--max-batch", "4", "--max-delay-ms", "2", "--queue-depth", "32",
+            "--json", str(out),
+            "--kernel-size", "3", "--padding", "1", "--pool-choice", "0",
+            "--initial-output-feature", "32",
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "images/sec" in text and "speedup" in text
+        import json
+        payload = json.loads(out.read_text())
+        assert payload["serving"]["served"] > 0
+        assert payload["policy"]["max_batch_size"] == 4
+        assert "speedup_vs_serial" in payload
+
+    def test_serve_bench_policy_seeding(self, capsys):
+        code = main([
+            "serve-bench", "--size", "24", "--duration", "0.3", "--clients", "4",
+            "--target-p99-ms", "200",
+            "--kernel-size", "3", "--padding", "1", "--pool-choice", "0",
+            "--initial-output-feature", "32",
+        ])
+        assert code == 0
+        assert "policy seeded from latency predictors" in capsys.readouterr().out
