@@ -622,6 +622,95 @@ class TestServingThroughput:
         benchmark.extra_info["mean_batch_size"] = round(report.mean_batch_size, 2)
 
 
+class TestQuantizedServing:
+    """Quantized + autotuned compiled plan vs the fp32 default compilation.
+
+    Honest framing: NumPy exposes no int8 SIMD dot-product units, so the
+    *pure* int8 kernels (exact integer GEMM over an f32 carrier plus
+    quantize/requantize epilogues) measure **slower** than the fp32 BLAS
+    path on every layer of this model — the opposite of real edge
+    silicon, where int8 delivers 2-4x.  The deployable configuration is
+    therefore "quantized weights + per-layer autotuned kernels": the
+    autotuner keeps fp32/Winograd where int8 loses, so the quantized
+    artifact (4x smaller on disk) serves at >= fp32 throughput.  Both
+    ratios are asserted/recorded: the autotuned floor is enforced, the
+    pure-int8 ratio is published in the artifact so the NumPy-substrate
+    penalty is visible rather than hidden.
+    """
+
+    HW = 24
+
+    @pytest.fixture(scope="class")
+    def quantized_setup(self, winner_model, tmp_path_factory):
+        from repro.deploy import autotune_variants, compile_plan
+        from repro.onnxlite.reader import proto_from_bytes
+        from repro.quant.calibrate import calibrate_activations
+        from repro.quant.export import export_quantized_model
+
+        proto = proto_from_bytes(export_quantized_model(winner_model, (self.HW, self.HW)))
+        rng = np.random.default_rng(0)
+        calibrate_activations(
+            proto, rng.standard_normal((16, 5, self.HW, self.HW)).astype(np.float32))
+        cache = tmp_path_factory.mktemp("autotune") / "autotune.json"
+        tune = autotune_variants(proto, batch=8, cache_path=cache)
+        fp32_plan = load_runtime(export_model(winner_model, (self.HW, self.HW))).compile()
+        tuned_plan = compile_plan(proto, variants=tune.variants)
+        int8_plan = compile_plan(proto)  # integer defaults on every eligible layer
+        return fp32_plan, tuned_plan, int8_plan, tune
+
+    def test_autotuned_quantized_serving_matches_fp32(self, benchmark, quantized_setup):
+        """Autotuned quantized plan >= 0.9x fp32 serial throughput at the tile.
+
+        Tolerance rationale: the autotuner picks fp32 or Winograd
+        wherever int8 loses, so the tuned plan tracks the fp32 default
+        within measurement noise and typically beats it by ~5% through
+        the Winograd wins (locally 1.0-1.1x).  0.9x catches a real
+        regression — an autotuner that starts forcing slow kernels, or
+        an integer epilogue leaking into hot layers — while absorbing
+        CI scheduler noise.  Rounds are paired and interleaved, compared
+        by the median per-round ratio, per the repo convention.
+        """
+        from repro.serve import serial_baseline
+
+        fp32_plan, tuned_plan, int8_plan, tune = quantized_setup
+        x = np.random.default_rng(0).normal(size=(1, 5, self.HW, self.HW)).astype(np.float32)
+        for plan in (fp32_plan, tuned_plan, int8_plan):
+            plan.run(x)  # warm arenas
+
+        rounds = []
+        for _ in range(3):
+            fp32 = serial_baseline(fp32_plan.replicate(), duration_s=0.5, seed=0)
+            tuned = serial_baseline(tuned_plan.replicate(), duration_s=0.5, seed=0)
+            int8 = serial_baseline(int8_plan.replicate(), duration_s=0.5, seed=0)
+            rounds.append((tuned.throughput_ips / fp32.throughput_ips,
+                           int8.throughput_ips / fp32.throughput_ips,
+                           fp32, tuned))
+        rounds.sort(key=lambda r: r[0])
+        tuned_ratio, int8_ratio, fp32, tuned = rounds[len(rounds) // 2]
+
+        assert tuned_ratio >= 0.9, (
+            f"autotuned quantized serving should hold >= 0.9x fp32: median "
+            f"paired round fp32 {fp32.throughput_ips:.0f} images/s vs tuned "
+            f"{tuned.throughput_ips:.0f} images/s ({tuned_ratio:.2f}x)"
+        )
+        # The decision table itself: every winner is a registry variant,
+        # and at this tile the tuner must keep the stem off pure int8
+        # only if int8 measured slower — no assertion on *which* kernel
+        # wins, that is machine-dependent and exactly what tuning is for.
+        from repro.latency.fusion import KERNEL_VARIANTS
+
+        assert all(row["chosen"] in KERNEL_VARIANTS[row["op_type"]]
+                   for row in tune.table.values())
+
+        if not getattr(benchmark, "disabled", False):
+            benchmark(tuned_plan.run, x)
+        benchmark.extra_info["tuned_vs_fp32_serial"] = round(tuned_ratio, 3)
+        benchmark.extra_info["pure_int8_vs_fp32_serial"] = round(int8_ratio, 3)
+        benchmark.extra_info["autotuned_layers"] = len(tune.variants)
+        benchmark.extra_info["fp32_throughput_ips"] = round(fp32.throughput_ips, 1)
+        benchmark.extra_info["tuned_throughput_ips"] = round(tuned.throughput_ips, 1)
+
+
 class TestDataPerformance:
     def test_dataset_batch_generation(self, benchmark):
         from repro.data.dataset import DrainageCrossingDataset

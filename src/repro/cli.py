@@ -16,12 +16,15 @@ Subcommands
     Per-layer wall-time profile of one configuration (real forward pass).
 ``infer``
     One-shot deploy inference timing (compiled plan by default,
-    ``--no-compiled`` for the interpreted reference).
+    ``--no-compiled`` for the interpreted reference, ``--quantized``
+    for the int8 + autotuned-kernel path with the per-kernel
+    variant/energy table).
 ``serve-bench``
     Load-generator benchmark of the :mod:`repro.serve` micro-batching
     server: throughput, p50/p99 latency, speedup vs the serial
     single-image baseline; ``--json`` for a CI artifact, ``--obs-log``
-    for the metrics JSONL.
+    for the metrics JSONL, ``--quantized``/``--autotune-json`` for the
+    int8 scenario and its kernel-selection artifact.
 ``obs``
     Render or export an observability JSONL log (``repro obs report`` /
     ``repro obs export``); logs are produced by ``sweep --obs-log`` or
@@ -216,6 +219,45 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_quantized_plan(model, config, size: int, batch: int, seed: int,
+                          cache_path: str = ""):
+    """Quantized export -> calibration -> autotune -> compiled int8 plan.
+
+    Returns ``(plan, autotune_result)``.  Calibration runs on synthetic
+    patches from a fixed-seed generator so repeated invocations produce
+    the same proto fingerprint (and therefore hit the autotune cache).
+    """
+    import numpy as np
+
+    from repro.deploy import autotune_variants, compile_plan
+    from repro.onnxlite.reader import proto_from_bytes
+    from repro.quant import export_quantized_model
+    from repro.quant.calibrate import calibrate_activations
+
+    proto = proto_from_bytes(export_quantized_model(model, input_hw=(size, size)))
+    rng = np.random.default_rng(seed)
+    calib = rng.standard_normal((16, config.channels, size, size)).astype("float32")
+    calibrate_activations(proto, calib)
+    tune = autotune_variants(proto, batch=batch, cache_path=cache_path or None)
+    return compile_plan(proto, variants=tune.variants), tune
+
+
+def _print_variant_energy_table(model, size: int, plan, device: str = "cortexA76cpu") -> None:
+    """Per-kernel variant + energy table for a compiled plan."""
+    from repro.graph.trace import trace_model
+    from repro.latency import energy_report
+
+    graph = trace_model(model, input_hw=(size, size))
+    rows = energy_report(graph, device, variants=plan.kernel_variants())
+    print(render_table(
+        [{"kernel": r["kernel"], "variant": r["variant"],
+          "energy_uj": round(r["energy_mj"] * 1e3, 2)} for r in rows],
+        title=f"Kernel variants & estimated energy ({device})",
+    ))
+    total = sum(r["energy_mj"] for r in rows)
+    print(f"estimated dynamic energy/inference: {total:.3f} mJ on {device}")
+
+
 def _cmd_infer(args: argparse.Namespace) -> int:
     import time
 
@@ -226,21 +268,37 @@ def _cmd_infer(args: argparse.Namespace) -> int:
     from repro.onnxlite.export import export_model
 
     config = _config_from_args(args)
-    runtime = load_runtime(export_model(build_model(config), input_hw=(args.size, args.size)))
+    model = build_model(config)
     rng = np.random.default_rng(args.seed)
     x = rng.standard_normal((args.batch, config.channels, args.size, args.size)).astype("float32")
-    compiled = args.compiled
-    runtime.run(x, compiled=compiled)  # warm (also compiles the plan once)
+    if args.quantized:
+        plan, tune = _build_quantized_plan(
+            model, config, args.size, args.batch, seed=args.seed,
+            cache_path=args.autotune_cache)
+        run = plan.run
+        mode = (f"compiled plan (int8 weights, "
+                f"{len(tune.variants)} layers autotuned"
+                f"{', cached decisions' if tune.cached else ''})")
+    else:
+        runtime = load_runtime(export_model(model, input_hw=(args.size, args.size)))
+        compiled = args.compiled
+
+        def run(batch):
+            return runtime.run(batch, compiled=compiled)
+
+        mode = "compiled plan" if compiled else "interpreted"
+    run(x)  # warm (also compiles the plan once)
     timings = []
     for _ in range(args.runs):
         t0 = time.perf_counter()
-        out = runtime.run(x, compiled=compiled)
+        out = run(x)
         timings.append(time.perf_counter() - t0)
     best = min(timings)
-    mode = "compiled plan" if compiled else "interpreted"
     print(f"{mode}: batch {args.batch} @ {args.size}x{args.size}, best of {args.runs}: "
           f"{best * 1e3:.2f} ms ({args.batch / best:.1f} images/sec)")
     print(f"logits[0]: {np.array2string(out[0], precision=4)}")
+    if args.quantized:
+        _print_variant_energy_table(model, args.size, plan)
     return 0
 
 
@@ -265,7 +323,16 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     model = build_model(config)
     runtime = load_runtime(export_model(model, input_hw=(args.size, args.size)))
-    plan = runtime.compile()
+    fp32_plan = runtime.compile()
+    tune = None
+    if args.quantized:
+        plan, tune = _build_quantized_plan(
+            model, config, args.size, args.max_batch, seed=args.seed,
+            cache_path=args.autotune_cache)
+        print(f"serving the quantized plan: {len(tune.variants)} layers autotuned"
+              f"{' (cached decisions)' if tune.cached else ''}")
+    else:
+        plan = fp32_plan
     if args.target_p99_ms > 0:
         policy = suggest_batch_policy(
             trace_model(model, input_hw=(args.size, args.size)),
@@ -284,6 +351,23 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             replicas=args.replicas,
         )
     baseline = serial_baseline(plan.replicate(), duration_s=min(1.0, args.duration / 2))
+    quantized_info = None
+    if args.quantized:
+        # Paired serial comparison on the same machine state: the served
+        # plan (quantized + autotuned) vs the fp32 default compilation.
+        fp32_serial = serial_baseline(fp32_plan.replicate(),
+                                      duration_s=min(1.0, args.duration / 2))
+        ratio = (baseline.throughput_ips / fp32_serial.throughput_ips
+                 if fp32_serial.throughput_ips else float("nan"))
+        quantized_info = {
+            "autotuned_layers": len(tune.variants),
+            "autotune_cached": tune.cached,
+            "serial_fp32_ips": round(fp32_serial.throughput_ips, 1),
+            "serial_quantized_ips": round(baseline.throughput_ips, 1),
+            "quantized_vs_fp32": round(ratio, 3),
+        }
+        print(f"quantized vs fp32 serial: {baseline.throughput_ips:.1f} vs "
+              f"{fp32_serial.throughput_ips:.1f} images/sec ({ratio:.2f}x)")
     try:
         with PlanServer(plan, policy=policy) as server:
             report = run_load(
@@ -321,9 +405,18 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             },
             "input_hw": args.size,
         }
+        if quantized_info is not None:
+            payload["quantized"] = quantized_info
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2)
         print(f"JSON written to {args.json}")
+    if args.autotune_json:
+        if tune is None:
+            _LOG.warning("--autotune-json requires --quantized; nothing written")
+        else:
+            with open(args.autotune_json, "w", encoding="utf-8") as fh:
+                json.dump(tune.to_json(), fh, indent=2)
+            print(f"autotune decision table written to {args.autotune_json}")
     return 0
 
 
@@ -403,6 +496,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="execute through the compiled InferencePlan "
                             "(--no-compiled for the interpreted reference; "
                             "both paths agree within rtol=1e-3/atol=1e-4)")
+    infer.add_argument("--quantized", action="store_true",
+                       help="serve the int8 path: quantized export + activation "
+                            "calibration + per-layer kernel autotuning; prints "
+                            "the kernel-variant table with per-kernel energy "
+                            "estimates")
+    infer.add_argument("--autotune-cache", default="",
+                       help="JSON autotune decision cache (reused across runs "
+                            "keyed by model fingerprint and batch)")
 
     serve_bench = sub.add_parser(
         "serve-bench",
@@ -430,6 +531,16 @@ def build_parser() -> argparse.ArgumentParser:
                                   "predictors against this p99 budget "
                                   "(overrides --max-batch/--max-delay-ms/--queue-depth)")
     serve_bench.add_argument("--seed", type=int, default=0)
+    serve_bench.add_argument("--quantized", action="store_true",
+                             help="serve the quantized + autotuned plan instead of "
+                                  "the fp32 default, and report the paired serial "
+                                  "throughput ratio vs fp32")
+    serve_bench.add_argument("--autotune-cache", default="",
+                             help="JSON autotune decision cache (with --quantized)")
+    serve_bench.add_argument("--autotune-json", default="",
+                             help="write the autotune decision table (chosen variant "
+                                  "+ per-variant timings per layer) as JSON here "
+                                  "(with --quantized)")
     serve_bench.add_argument("--obs-log", default="",
                              help="write an observability JSONL log here")
     serve_bench.add_argument("--json", default="",

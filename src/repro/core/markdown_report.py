@@ -75,6 +75,54 @@ def _fault_tolerance_section(result: PipelineResult) -> list[str]:
     return parts
 
 
+def _kernel_energy_section(device: str = "cortexA76cpu") -> list[str]:
+    """TEA-DNN-style kernel-variant energy what-if for the deployment tile.
+
+    Prices the Pareto-winner architecture at the 24x24 deployment tile
+    under the three kernel families the deploy compiler can emit (fp32
+    im2col, Winograd on eligible convs, the int8 integer path), using
+    the per-variant factors of
+    :data:`repro.latency.energy.VARIANT_COST_FACTORS`.  Static estimate
+    only — the compile-time autotuner picks per layer by measurement.
+    """
+    from repro.deploy.winograd import WINOGRAD_VARIANT, winograd_eligible
+    from repro.graph.ir import OpType
+    from repro.graph.trace import trace_model
+    from repro.latency.energy import energy_report
+    from repro.nas.config import ModelConfig
+    from repro.nn.resnet import build_model
+
+    config = ModelConfig(channels=5, batch=8, kernel_size=3, stride=2, padding=1,
+                         pool_choice=0, kernel_size_pool=3, stride_pool=2,
+                         initial_output_feature=32)
+    graph = trace_model(build_model(config), input_hw=(24, 24))
+    winograd = {n.name: WINOGRAD_VARIANT for n in graph.nodes()
+                if n.op is OpType.CONV and winograd_eligible(n.attrs)}
+    integer = {"conv-bn-relu": "conv.im2col.int8", "conv-bn": "conv.im2col.int8",
+               "fc": "gemm.int8", "add-relu": "add.int8", "add": "add.int8",
+               "maxpool": "maxpool.u8", "global-avgpool": "gap.u8", "relu": "relu.u8"}
+    fp32_rows = energy_report(graph, device)
+    int8_map = {r["kernel"]: integer.get(r["kernel_type"], r["variant"]) for r in fp32_rows}
+    fp32_total = sum(r["energy_mj"] for r in fp32_rows)
+    scenarios = [("fp32 im2col (compiler default)", {}),
+                 ("Winograd F(2x2,3x3) on stride-1 3x3 convs", winograd),
+                 ("int8 integer path", int8_map)]
+    rows = []
+    for label, variants in scenarios:
+        total = sum(r["energy_mj"] for r in energy_report(graph, device, variants=variants))
+        rows.append({"kernel selection": label, "energy_mj": round(total, 3),
+                     "vs_fp32": f"{total / fp32_total:.2f}x"})
+    parts = ["\n## Kernel variants & energy (deployment tile)\n"]
+    parts.append(f"Estimated dynamic energy per inference on `{device}` at the "
+                 "24x24 tile, by kernel selection (library extension — the "
+                 "paper reports no energy figures):\n")
+    parts.append(_md_table(rows))
+    parts.append("\nThe deploy compiler's autotuner selects per layer by "
+                 "micro-benchmark (`repro-nas infer --quantized` prints the "
+                 "chosen variants with per-kernel energy).\n")
+    return parts
+
+
 def sweep_markdown(result: PipelineResult, include_baseline: bool = True) -> str:
     """The full markdown report for one sweep result."""
     parts: list[str] = ["# Sweep report (paper vs measured)\n"]
@@ -100,6 +148,8 @@ def sweep_markdown(result: PipelineResult, include_baseline: bool = True) -> str
     parts.append(_md_table(pareto_table(result), _FRONT_COLUMNS))
     parts.append("\nPaper's reported rows:\n")
     parts.append(_md_table(TABLE4_PARETO, _FRONT_COLUMNS))
+
+    parts.extend(_kernel_energy_section())
 
     parts.append("\n## Per-input-combination fronts\n")
     for (channels, batch), rows_ in per_combination_fronts(result).items():

@@ -21,6 +21,7 @@ shared, arenas private) behind the micro-batching server in
 :mod:`repro.serve`.  Misuse raises :class:`ConcurrentPlanError`.
 """
 
+from repro.deploy.autotune import AutotuneResult, autotune_variants
 from repro.deploy.plan import (
     Arena,
     BATCH_MERGED_MAX_POSITIONS,
@@ -29,13 +30,17 @@ from repro.deploy.plan import (
     compile_plan,
 )
 from repro.deploy.runtime import OnnxliteRuntime, load_runtime
+from repro.deploy.weights import LazyWeightTable
 
 __all__ = [
     "Arena",
+    "AutotuneResult",
     "BATCH_MERGED_MAX_POSITIONS",
     "ConcurrentPlanError",
     "InferencePlan",
+    "LazyWeightTable",
     "OnnxliteRuntime",
+    "autotune_variants",
     "compile_plan",
     "load_runtime",
 ]

@@ -41,8 +41,19 @@ from repro.deploy.passes import (
     compute_liveness,
     fuse_operators,
     infer_shapes,
+    plan_quantization,
     toposort_nodes,
 )
+from repro.deploy.qkernels import (
+    chunked_int_gemm,
+    quantize_into,
+    quantize_multiplier,
+    quantize_multipliers,
+    requantize,
+)
+from repro.deploy.weights import LazyWeightTable
+from repro.deploy.winograd import WINOGRAD_VARIANT, bind_winograd_conv, winograd_eligible
+from repro.latency.fusion import KERNEL_VARIANTS
 from repro.onnxlite.schema import ModelProto
 from repro.tensor.conv_ops import im2col
 
@@ -86,27 +97,32 @@ class ConcurrentPlanError(RuntimeError):
 class Arena:
     """A pooling allocator for intermediate activation buffers.
 
-    Buffers are flat float32 arrays handed out as shaped views; released
-    buffers return to a free pool and are reused by the smallest-fit
-    candidate, so a full forward pass settles into a handful of
-    allocations that persist across runs.  The free pool is kept sorted
-    by capacity, so the smallest-fit lookup is a bisect + pop instead of
-    a linear scan — O(log f) per acquire where the old scan was O(f),
-    which matters once batch-bucketed serving multiplies the pooled
-    buffer population.
+    Buffers are flat byte arrays handed out as shaped, dtype-cast views
+    (float32 by default; the integer kernel path draws uint8 activations
+    and int32 accumulators from the same pool); released buffers return
+    to a free pool and are reused by the smallest-fit candidate, so a
+    full forward pass settles into a handful of allocations that persist
+    across runs.  The free pool is kept sorted by capacity, so the
+    smallest-fit lookup is a bisect + pop instead of a linear scan —
+    O(log f) per acquire where the old scan was O(f), which matters once
+    batch-bucketed serving multiplies the pooled buffer population.
 
     Parameters
     ----------
     poison:
-        Debug mode — released buffers are filled with NaN so any kernel
-        reading a freed tensor corrupts the output and fails the
-        equivalence tests instead of silently reading stale data.
+        Debug mode — released buffers are filled with 0xFF bytes (NaN
+        when read as float32) so any kernel reading a freed tensor
+        corrupts the output and fails the equivalence tests instead of
+        silently reading stale data.
     """
 
     def __init__(self, poison: bool = False) -> None:
         self.poison = poison
-        #: Free pool, kept sorted ascending by element capacity; the
-        #: parallel ``_free_sizes`` list is the bisect key.
+        #: Free pool of flat uint8 base buffers, kept sorted ascending by
+        #: byte capacity; the parallel ``_free_sizes`` list is the bisect
+        #: key.  Pooling bytes rather than elements lets a retired fp32
+        #: activation come back as an int32 accumulator or 4x the uint8
+        #: codes without fragmenting the pool by dtype.
         self._free: list[np.ndarray] = []
         self._free_sizes: list[int] = []
         self._live: dict[int, np.ndarray] = {}
@@ -115,19 +131,20 @@ class Arena:
         self.allocations = 0
         self.reuses = 0
 
-    def acquire(self, shape: tuple[int, ...]) -> np.ndarray:
-        """A float32 buffer of ``shape`` (pooled when possible)."""
-        size = int(math.prod(shape))
-        # Smallest fit = first pooled buffer with capacity >= size.
-        i = bisect.bisect_left(self._free_sizes, size)
+    def acquire(self, shape: tuple[int, ...], dtype=np.float32) -> np.ndarray:
+        """A ``dtype`` buffer of ``shape`` (pooled when possible)."""
+        dt = np.dtype(dtype)
+        nbytes = int(math.prod(shape)) * dt.itemsize
+        # Smallest fit = first pooled buffer with capacity >= nbytes.
+        i = bisect.bisect_left(self._free_sizes, nbytes)
         if i < len(self._free):
             base = self._free.pop(i)
             self._free_sizes.pop(i)
             self.reuses += 1
         else:
-            base = np.empty(size, dtype=np.float32)
+            base = np.empty(nbytes, dtype=np.uint8)
             self.allocations += 1
-        view = base[:size].reshape(shape)
+        view = base[:nbytes].view(dt).reshape(shape)
         self._live[id(view)] = base
         self.current_bytes += base.nbytes
         self.peak_bytes = max(self.peak_bytes, self.current_bytes)
@@ -139,7 +156,7 @@ class Arena:
         if base is None:
             raise KeyError("released a buffer the arena does not own (planner bug)")
         if self.poison:
-            base.fill(np.nan)
+            base.fill(0xFF)  # NaN as float32, -1 as int32, 255 as uint8
         self.current_bytes -= base.nbytes
         i = bisect.bisect_left(self._free_sizes, base.size)
         self._free.insert(i, base)
@@ -170,6 +187,10 @@ class PlanStep:
     run: Callable[[dict[str, np.ndarray]], np.ndarray]
     inputs: tuple[str, ...]
     output: str
+    #: The kernel variant bound to this step — always a name from
+    #: :data:`repro.latency.fusion.KERNEL_VARIANTS`, so predicted and
+    #: executed kernels join on ``(op_type, variant)``.
+    variant: str = ""
     #: Tensors whose buffers return to the arena after this step.
     release: list[str] = field(default_factory=list)
     #: Tensors dropped from the environment without an arena release
@@ -204,7 +225,7 @@ def _bind_conv(node: PlanNode, in_shape, out_shape, arena: Arena):
     kernel = int(node.attrs["kernel"])
     stride = int(node.attrs["stride"])
     padding = int(node.attrs["padding"])
-    w_mat = np.ascontiguousarray(node.weights["weight"].reshape(c_out, -1))
+    w_mat = np.ascontiguousarray(node.fp32_weight().reshape(c_out, -1))
     bias = node.weights.get("bias")
     bias_col = None if bias is None else np.ascontiguousarray(bias.reshape(c_out, 1, 1))
     relu = node.relu
@@ -285,7 +306,7 @@ def _bind_gemm(node: PlanNode, out_shape, arena: Arena):
     # transposed copy instead of materializing it per bind.
     weight_t = node.weights.get("weight_t")
     if weight_t is None:
-        weight_t = np.ascontiguousarray(node.weights["weight"].T)
+        weight_t = np.ascontiguousarray(node.fp32_weight().T)
         node.weights["weight_t"] = weight_t
     bias = node.weights.get("bias")
     relu = node.relu
@@ -396,44 +417,477 @@ def _bind_flatten(node: PlanNode, out_shape, arena: Arena):
     return run
 
 
+# --------------------------------------------------------------------------
+# integer kernel binding
+# --------------------------------------------------------------------------
+
+
+def _quantized_codes_matrix(node: PlanNode) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The node's weight codes in GEMM form, cached across plan replicas.
+
+    Returns ``(codes_f32, scales, row_sums)``: the int8 codes flattened
+    to ``(C_out, K)`` and pre-converted to float32 (the carrier dtype of
+    the exact SGEMM trick — see :mod:`repro.deploy.qkernels`), the
+    per-output-channel scales (float64), and the per-row code sums used
+    by the zero-point fold.  No ``dequantized()`` call happens here: the
+    f32 matrix holds integer *codes*, not reconstructed weights, so the
+    lazy-weight invariant (zero dequantized fp32 copies on the quantized
+    path) is preserved.
+    """
+    mat = node.weights.get("w_codes_f32")
+    if mat is None:
+        qw = node.qweight
+        mat = np.ascontiguousarray(qw.data.reshape(qw.data.shape[0], -1).astype(np.float32))
+        node.weights["w_codes_f32"] = mat
+        node.weights["w_scales"] = qw.channel_scales()
+        node.weights["w_row_sums"] = mat.sum(axis=1, dtype=np.float64)
+    return mat, node.weights["w_scales"], node.weights["w_row_sums"]
+
+
+def _make_int_epilogue(node: PlanNode, s_in: float, s_w: np.ndarray, arena: Arena):
+    """Epilogue closure for integer Conv/Gemm accumulators.
+
+    Maps the exact ``(C, M)`` float64 accumulator (zero-point already
+    folded, bias not yet) to the kernel's output matrix ``om``:
+
+    - quantized output (``qconfig["output"]`` set): int32 bias fold +
+      gemmlowp fixed-point requantization to uint8 codes (fused ReLU is
+      a clamp at the output zero point);
+    - float32 epilogue (``output`` is None): per-channel dequant scale
+      ``s_in * s_w[c]`` plus the fp32 bias and ReLU.
+
+    The closure takes ownership of (and releases) ``acc``.  Returns
+    ``(finish, out_dtype)``.
+    """
+    q_out = node.qconfig["output"]
+    bias = node.weights.get("bias")
+    relu = node.relu
+    if q_out is not None:
+        m0, shift = quantize_multipliers(s_in * s_w / q_out.scale)
+        zp_out = int(q_out.zero_point)
+        bias_q = None
+        if bias is not None:
+            bias_q = np.round(bias.astype(np.float64) / (s_in * s_w))[:, None]
+
+        def finish(acc: np.ndarray) -> np.ndarray:
+            if bias_q is not None:
+                acc += bias_q
+            acc_i64 = arena.acquire(acc.shape, np.int64)
+            np.copyto(acc_i64, acc, casting="unsafe")
+            arena.release(acc)
+            om = arena.acquire(acc_i64.shape, np.uint8)
+            requantize(acc_i64, m0, shift, zp_out, relu=relu, out=om, axis=0)
+            arena.release(acc_i64)
+            return om
+
+        return finish, np.uint8
+
+    scale_col = (s_in * s_w)[:, None]  # float64 (C, 1)
+    bias_col = None if bias is None else np.ascontiguousarray(
+        bias.astype(np.float32)[:, None]
+    )
+
+    def finish(acc: np.ndarray) -> np.ndarray:
+        om = arena.acquire(acc.shape)
+        np.multiply(acc, scale_col, out=om)
+        arena.release(acc)
+        if bias_col is not None:
+            om += bias_col
+        if relu:
+            np.maximum(om, 0.0, out=om)
+        return om
+
+    return finish, np.float32
+
+
+def _bind_qconv(node: PlanNode, in_shape, out_shape, arena: Arena, in_form: str):
+    """Bind a (fused) Conv to the true-int8 QLinearConv-style kernel.
+
+    The activation side runs in the quantized domain end to end: uint8
+    codes in (quantized on the fly when the producer is fp32), a merged
+    im2col over codes with the padding filled at the input *zero point*,
+    the exact chunked integer GEMM of :mod:`repro.deploy.qkernels`, and
+    either a requantized uint8 output (when every consumer reads codes)
+    or a float32 epilogue.  BatchNorm is already folded into the integer
+    weights by :func:`repro.deploy.passes.fold_batch_norm`; fused ReLU
+    rides the epilogue.
+    """
+    c_in, h, w = in_shape
+    c_out, oh, ow = out_shape
+    kernel = int(node.attrs["kernel"])
+    stride = int(node.attrs["stride"])
+    padding = int(node.attrs["padding"])
+    q_in = node.qconfig["input"]
+    s_in, zp_in = float(q_in.scale), int(q_in.zero_point)
+    w_mat, s_w, row_sums = _quantized_codes_matrix(node)
+    finish, out_dtype = _make_int_epilogue(node, s_in, s_w, arena)
+    zp_term = (zp_in * row_sums)[:, None]  # float64 (C_out, 1), exact
+    in_name = node.inputs[0]
+    cols_rows = c_in * kernel * kernel
+    spatial = oh * ow
+
+    def run(env: dict[str, np.ndarray]) -> np.ndarray:
+        x = env[in_name]
+        n = x.shape[0]
+        if in_form == "u8":
+            codes = x
+        else:
+            codes = arena.acquire((n, c_in, h, w), np.uint8)
+            scratch = arena.acquire((n, c_in, h, w))
+            quantize_into(x, s_in, zp_in, codes, scratch)
+            arena.release(scratch)
+        if padding:
+            xp = arena.acquire((n, c_in, h + 2 * padding, w + 2 * padding), np.uint8)
+            # Border-only fill at the input zero point (the integer
+            # representation of 0.0), interior copied from the codes.
+            xp[:, :, :padding, :] = zp_in
+            xp[:, :, padding + h :, :] = zp_in
+            xp[:, :, padding : padding + h, :padding] = zp_in
+            xp[:, :, padding : padding + h, padding + w :] = zp_in
+            xp[:, :, padding : padding + h, padding : padding + w] = codes
+            if in_form != "u8":
+                arena.release(codes)
+        else:
+            xp = codes
+        # Merged im2col straight into integer-valued float32 (the cast
+        # fuses into the gather copy; K-panels then slice with no copy).
+        cols = arena.acquire((cols_rows, n * spatial))
+        windows = sliding_window_view(xp, (kernel, kernel), axis=(2, 3))[:, :, ::stride, ::stride]
+        np.copyto(
+            cols.reshape(c_in, kernel, kernel, n, oh, ow),
+            windows.transpose(1, 4, 5, 0, 2, 3),
+        )
+        if padding or in_form != "u8":
+            arena.release(xp)
+        m = n * spatial
+        acc = arena.acquire((c_out, m), np.float64)
+        part = arena.acquire((c_out, m))
+        chunked_int_gemm(w_mat, cols, acc, part)
+        arena.release(cols)
+        arena.release(part)
+        acc -= zp_term
+        om = finish(acc)
+        out = arena.acquire((n, c_out, oh, ow), out_dtype)
+        np.copyto(out.reshape(n, c_out, spatial), om.reshape(c_out, n, spatial).transpose(1, 0, 2))
+        arena.release(om)
+        return out
+
+    return run
+
+
+def _bind_qgemm(node: PlanNode, in_shape, out_shape, arena: Arena, in_form: str):
+    """Bind a Gemm to the int8 kernel (same recipe as :func:`_bind_qconv`)."""
+    k_in = in_shape[0]
+    out_features = out_shape[0]
+    q_in = node.qconfig["input"]
+    s_in, zp_in = float(q_in.scale), int(q_in.zero_point)
+    w_mat, s_w, row_sums = _quantized_codes_matrix(node)
+    finish, out_dtype = _make_int_epilogue(node, s_in, s_w, arena)
+    zp_term = (zp_in * row_sums)[:, None]
+    in_name = node.inputs[0]
+
+    def run(env: dict[str, np.ndarray]) -> np.ndarray:
+        x = env[in_name]
+        n = x.shape[0]
+        cols = arena.acquire((k_in, n))
+        if in_form == "u8":
+            np.copyto(cols, x.T)
+        else:
+            q = arena.acquire((n, k_in))
+            np.divide(x, s_in, out=q)
+            np.rint(q, out=q)
+            q += zp_in
+            np.clip(q, 0.0, 255.0, out=q)
+            np.copyto(cols, q.T)
+            arena.release(q)
+        acc = arena.acquire((out_features, n), np.float64)
+        part = arena.acquire((out_features, n))
+        chunked_int_gemm(w_mat, cols, acc, part)
+        arena.release(cols)
+        arena.release(part)
+        acc -= zp_term
+        om = finish(acc)
+        out = arena.acquire((n, out_features), out_dtype)
+        np.copyto(out, om.T)
+        arena.release(om)
+        return out
+
+    return run
+
+
+def _bind_qadd(node: PlanNode, arena: Arena, inplace_name: str | None):
+    """Bind a residual Add over uint8 inputs.
+
+    With a quantized output the two operands are rescaled onto the
+    output grid by independent fixed-point multipliers and summed in
+    int64 (each term rounds once — a <= 1 ULP difference from the
+    fp32 reference, inside the certification tolerance).  With a float32
+    epilogue both operands dequantize and the add runs in fp32.
+    """
+    q_a, q_b = node.qconfig["input"], node.qconfig["input_b"]
+    q_out = node.qconfig["output"]
+    relu = node.relu
+    a_name, b_name = node.inputs
+    za, zb = int(q_a.zero_point), int(q_b.zero_point)
+
+    if q_out is not None:
+        m0a, sha = quantize_multiplier(q_a.scale / q_out.scale)
+        m0b, shb = quantize_multiplier(q_b.scale / q_out.scale)
+        ta, tb = 31 + sha, 31 + shb
+        zo = int(q_out.zero_point)
+        lo = zo if relu else 0
+
+        def run(env: dict[str, np.ndarray]) -> np.ndarray:
+            a, b = env[a_name], env[b_name]
+            ra = (a.astype(np.int64) - za) * m0a
+            ra += 1 << (ta - 1)
+            ra >>= ta
+            rb = (b.astype(np.int64) - zb) * m0b
+            rb += 1 << (tb - 1)
+            rb >>= tb
+            ra += rb
+            ra += zo
+            np.clip(ra, lo, 255, out=ra)
+            out = env[inplace_name] if inplace_name is not None else arena.acquire(
+                a.shape, np.uint8
+            )
+            out[...] = ra
+            return out
+
+        return run
+
+    sa, sb = float(q_a.scale), float(q_b.scale)
+
+    def run(env: dict[str, np.ndarray]) -> np.ndarray:
+        a, b = env[a_name], env[b_name]
+        out = arena.acquire(a.shape)
+        out[...] = a
+        out -= za
+        out *= sa
+        tmp = arena.acquire(b.shape)
+        tmp[...] = b
+        tmp -= zb
+        tmp *= sb
+        out += tmp
+        arena.release(tmp)
+        if relu:
+            np.maximum(out, 0.0, out=out)
+        return out
+
+    return run
+
+
+def _dequant_epilogue(out: np.ndarray, scale: float, zero_point: int) -> np.ndarray:
+    """In-place affine map from codes (already cast to f32) to values."""
+    out -= zero_point
+    out *= scale
+    return out
+
+
+def _bind_qmax_pool(node: PlanNode, out_shape, arena: Arena):
+    """MaxPool over uint8 codes (max commutes with the affine map)."""
+    kernel = int(node.attrs["kernel"])
+    stride = int(node.attrs["stride"])
+    c, oh, ow = out_shape
+    q_in = node.qconfig["input"]
+    q_out = node.qconfig["output"]
+    in_name = node.inputs[0]
+
+    def run(env: dict[str, np.ndarray]) -> np.ndarray:
+        x = env[in_name]
+        windows = sliding_window_view(x, (kernel, kernel), axis=(2, 3))[:, :, ::stride, ::stride]
+        dtype = np.uint8 if q_out is not None else np.float32
+        out = arena.acquire((x.shape[0], c, oh, ow), dtype)
+        np.max(windows, axis=(-2, -1), out=out)
+        if q_out is None:
+            _dequant_epilogue(out, float(q_in.scale), int(q_in.zero_point))
+        return out
+
+    return run
+
+
+def _bind_qrelu(node: PlanNode, arena: Arena, inplace: bool):
+    """Standalone ReLU on codes: a clamp at the input zero point."""
+    q_in = node.qconfig["input"]
+    q_out = node.qconfig["output"]
+    zp = int(q_in.zero_point)
+    in_name = node.inputs[0]
+
+    def run(env: dict[str, np.ndarray]) -> np.ndarray:
+        x = env[in_name]
+        if q_out is not None:
+            out = x if inplace else arena.acquire(x.shape, np.uint8)
+            np.maximum(x, zp, out=out)
+            return out
+        out = arena.acquire(x.shape)
+        np.maximum(x, zp, out=out)
+        return _dequant_epilogue(out, float(q_in.scale), zp)
+
+    return run
+
+
+def _bind_qflatten(node: PlanNode, out_shape, arena: Arena):
+    """Flatten on codes: a reshape copy (plus dequant when leaving u8)."""
+    flat = out_shape[0]
+    q_in = node.qconfig["input"]
+    q_out = node.qconfig["output"]
+    in_name = node.inputs[0]
+
+    def run(env: dict[str, np.ndarray]) -> np.ndarray:
+        x = env[in_name]
+        dtype = np.uint8 if q_out is not None else np.float32
+        out = arena.acquire((x.shape[0], flat), dtype)
+        np.copyto(out, x.reshape(x.shape[0], flat))
+        if q_out is None:
+            _dequant_epilogue(out, float(q_in.scale), int(q_in.zero_point))
+        return out
+
+    return run
+
+
+def _bind_qgap(node: PlanNode, out_shape, arena: Arena):
+    """GlobalAveragePool over codes, emitting float32.
+
+    The code sum over a <= 24x24 tile is at most 576 * 255 < 2^24, so a
+    float32 accumulation is exact; only the final divide rounds.
+    """
+    channels = out_shape[0]
+    q_in = node.qconfig["input"]
+    s, zp = float(q_in.scale), int(q_in.zero_point)
+    in_name = node.inputs[0]
+
+    def run(env: dict[str, np.ndarray]) -> np.ndarray:
+        x = env[in_name]
+        out = arena.acquire((x.shape[0], channels))
+        np.mean(x, axis=(2, 3), dtype=np.float32, out=out)
+        return _dequant_epilogue(out, s, zp)
+
+    return run
+
+
+#: Default integer variant per lead op type (when the quantization
+#: planner marked the node integer and no explicit choice overrides it).
+_INTEGER_VARIANTS = {
+    "Conv": "conv.im2col.int8",
+    "Gemm": "gemm.int8",
+    "Add": "add.int8",
+    "MaxPool": "maxpool.u8",
+    "GlobalAveragePool": "gap.u8",
+    "Flatten": "flatten.u8",
+    "Relu": "relu.u8",
+}
+
+
+def _resolve_variants(
+    nodes: list[PlanNode], variant_map: dict[str, str]
+) -> dict[str, str]:
+    """Final node -> kernel-variant assignment.
+
+    Explicit choices (autotuner decisions, test overrides) are validated
+    against :data:`~repro.latency.fusion.KERNEL_VARIANTS` and the node's
+    geometry; everything else defaults to the integer variant when
+    :func:`~repro.deploy.passes.plan_quantization` marked the node
+    integer, and to the op's fp32 variant otherwise.
+    """
+    resolved: dict[str, str] = {}
+    for node in nodes:
+        allowed = KERNEL_VARIANTS.get(node.op_type, ())
+        forced = variant_map.get(node.name)
+        if forced is not None:
+            if forced not in allowed:
+                raise ValueError(
+                    f"unknown variant {forced!r} for {node.op_type} node "
+                    f"{node.name!r}; expected one of {allowed}"
+                )
+            if forced == WINOGRAD_VARIANT and not winograd_eligible(node.attrs):
+                raise ValueError(
+                    f"{node.name!r} is not Winograd-eligible (needs a stride-1 "
+                    f"3x3 conv), got attrs {node.attrs}"
+                )
+            resolved[node.name] = forced
+        elif node.qconfig:
+            resolved[node.name] = _INTEGER_VARIANTS[node.op_type]
+        else:
+            resolved[node.name] = allowed[0] if allowed else f"{node.op_type.lower()}.f32"
+    return resolved
+
+
 def _bind_step(
     node: PlanNode,
     step: int,
     shapes: dict[str, tuple[int, ...]],
     release: list[list[str]],
     arena: Arena,
+    forms: dict[str, str],
+    variants: dict[str, str],
 ) -> PlanStep:
     """Resolve one fused node to a concrete closure + release schedule."""
     in_shape = shapes[node.inputs[0]]
     out_shape = shapes[node.output]
     kind = node.op_type
+    variant = variants.get(node.name, "")
+    in_form = forms.get(node.inputs[0], "f32")
+    out_form = forms.get(node.output, "f32")
     drop: list[str] = []
 
     def claim_inplace() -> str | None:
-        """Steal a dying, arena-owned input buffer for the output."""
+        """Steal a dying, arena-owned input buffer for the output.
+
+        Requires a matching carrier form: a uint8 code buffer must never
+        be recycled in place as a float32 output (or vice versa) — the
+        byte capacities differ and the view dtypes would lie.
+        """
         for name in node.inputs:
-            if name != _INPUT and name in release[step] and shapes[name] == out_shape:
+            if (
+                name != _INPUT
+                and name in release[step]
+                and shapes[name] == out_shape
+                and forms.get(name, "f32") == out_form
+            ):
                 release[step].remove(name)
                 drop.append(name)
                 return name
         return None
 
     if kind == "Conv":
-        run = _bind_conv(node, in_shape, out_shape, arena)
+        if variant == "conv.im2col.int8":
+            run = _bind_qconv(node, in_shape, out_shape, arena, in_form)
+        elif variant == WINOGRAD_VARIANT:
+            run = bind_winograd_conv(node, in_shape, out_shape, arena)
+        else:
+            run = _bind_conv(node, in_shape, out_shape, arena)
     elif kind == "Gemm":
-        run = _bind_gemm(node, out_shape, arena)
+        if variant == "gemm.int8":
+            run = _bind_qgemm(node, in_shape, out_shape, arena, in_form)
+        else:
+            run = _bind_gemm(node, out_shape, arena)
     elif kind == "BatchNormalization":
         run = _bind_batch_norm(node, arena, inplace=claim_inplace() is not None)
     elif kind == "Relu":
-        run = _bind_relu(node, arena, inplace=claim_inplace() is not None)
+        if variant == "relu.u8":
+            run = _bind_qrelu(node, arena, inplace=claim_inplace() is not None)
+        else:
+            run = _bind_relu(node, arena, inplace=claim_inplace() is not None)
     elif kind == "Add":
-        run = _bind_add(node, arena, inplace_name=claim_inplace())
+        if variant == "add.int8":
+            run = _bind_qadd(node, arena, inplace_name=claim_inplace())
+        else:
+            run = _bind_add(node, arena, inplace_name=claim_inplace())
     elif kind == "MaxPool":
-        run = _bind_max_pool(node, out_shape, arena)
+        if variant == "maxpool.u8":
+            run = _bind_qmax_pool(node, out_shape, arena)
+        else:
+            run = _bind_max_pool(node, out_shape, arena)
     elif kind == "GlobalAveragePool":
-        run = _bind_global_avg_pool(node, out_shape, arena)
+        if variant == "gap.u8":
+            run = _bind_qgap(node, out_shape, arena)
+        else:
+            run = _bind_global_avg_pool(node, out_shape, arena)
     elif kind == "Flatten":
-        run = _bind_flatten(node, out_shape, arena)
+        if variant == "flatten.u8":
+            run = _bind_qflatten(node, out_shape, arena)
+        else:
+            run = _bind_flatten(node, out_shape, arena)
     else:  # pragma: no cover - guarded by runtime op validation
         raise ValueError(f"cannot bind kernel for operator {kind!r}")
 
@@ -443,6 +897,7 @@ def _bind_step(
         run=run,
         inputs=tuple(node.inputs),
         output=node.output,
+        variant=variant,
         release=release[step],
         drop=drop,
     )
@@ -580,6 +1035,15 @@ class InferencePlan:
         """The fused op-type chain of every step, in execution order."""
         return [step.chain for step in self.steps]
 
+    def kernel_variants(self) -> dict[str, str]:
+        """Step name -> bound kernel-variant name, in execution order.
+
+        Every value is a member of
+        :data:`repro.latency.fusion.KERNEL_VARIANTS` — the contract that
+        keeps latency/energy prediction and execution joined.
+        """
+        return {step.name: step.variant for step in self.steps}
+
     def planned_peak_bytes(self, batch: int = 1) -> int:
         """Static peak of live intermediate bytes under the release plan."""
         live: dict[str, int] = {}
@@ -614,7 +1078,10 @@ class InferencePlan:
             out_shape = "x".join(map(str, self.shapes[step.output]))
             freed = f"  frees {sorted(step.release)}" if step.release else ""
             inplace = f"  in-place on {step.drop[0]!r}" if step.drop else ""
-            lines.append(f"  {step.name:32s} {chain:34s} -> {out_shape}{freed}{inplace}")
+            lines.append(
+                f"  {step.name:32s} {chain:34s} {step.variant:22s} -> "
+                f"{out_shape}{freed}{inplace}"
+            )
         return "\n".join(lines)
 
     def __repr__(self) -> str:
@@ -643,13 +1110,18 @@ class _PlanBlueprint:
     final_output: str
     naive_tensor_shapes: list[tuple[int, ...]]
     fingerprint: str
+    #: Per-tensor carrier form ("u8" | "f32") from plan_quantization.
+    forms: dict[str, str] = field(default_factory=dict)
+    #: Resolved node -> kernel-variant assignment; replicas re-bind the
+    #: exact same variants, so autotune decisions survive replication.
+    variants: dict[str, str] = field(default_factory=dict)
 
     def bind(self, poison: bool = False) -> InferencePlan:
         """Bind the kernels to a fresh arena and return a runnable plan."""
         arena = Arena(poison=poison)
         release = [list(names) for names in self.release]
         steps = [
-            _bind_step(node, i, self.shapes, release, arena)
+            _bind_step(node, i, self.shapes, release, arena, self.forms, self.variants)
             for i, node in enumerate(self.nodes)
         ]
         return InferencePlan(
@@ -670,26 +1142,39 @@ def compile_plan(
     weights: dict[str, np.ndarray] | None = None,
     *,
     poison: bool = False,
+    variants: "dict[str, str] | None" = None,
 ) -> InferencePlan:
     """Compile a model proto into an :class:`InferencePlan`.
 
     Parameters
     ----------
     proto:
-        The deserialized model (quantized payloads are dequantized here
-        unless ``weights`` is supplied).
+        The deserialized model.  Quantized payloads stay as integer codes
+        and are dequantized lazily, per consumer — only layers bound to
+        an fp32 kernel variant materialize an fp32 weight copy.  A model
+        carrying an activation-calibration table (see
+        :func:`repro.quant.calibrate.calibrate_activations`) compiles
+        its eligible layers onto the true-int8 kernel path by default.
     weights:
-        Optional pre-dequantized initializer table (name -> float32
-        array); :class:`~repro.deploy.runtime.OnnxliteRuntime` passes its
-        own so the two paths share one load step.
+        Optional initializer table (name -> float32 array, or a
+        :class:`~repro.deploy.weights.LazyWeightTable`);
+        :class:`~repro.deploy.runtime.OnnxliteRuntime` passes its own so
+        the two paths share one load step.
     poison:
         Debug mode: fill released arena buffers with NaN to surface any
         read-after-free in the release schedule (see :class:`Arena`).
+    variants:
+        Optional node-name -> kernel-variant overrides (names from
+        :data:`repro.latency.fusion.KERNEL_VARIANTS`) — how autotune
+        decisions and A/B comparisons pick non-default kernels, e.g.
+        ``{"features.0": "conv.winograd2x2.f32"}``.  Unknown names,
+        ineligible geometry, or an integer variant without the required
+        quantization payloads raise ``ValueError``.
     """
     if not proto.operators:
         raise ValueError("model has no operators")
     if weights is None:
-        weights = {t.name: t.dequantized() for t in proto.initializers}
+        weights = LazyWeightTable(proto)
     final_output = proto.operators[-1].outputs[0]
     nodes = build_plan_nodes(proto, weights)
 
@@ -701,6 +1186,8 @@ def compile_plan(
     nodes = fuse_operators(nodes)
     nodes = toposort_nodes(nodes)
     shapes = infer_shapes(nodes, proto.input_shape)
+    forms = plan_quantization(nodes, proto, variant_map=variants)
+    resolved = _resolve_variants(nodes, dict(variants or {}))
     release, _ = compute_liveness(nodes, final_output=final_output)
 
     blueprint = _PlanBlueprint(
@@ -712,5 +1199,7 @@ def compile_plan(
         final_output=final_output,
         naive_tensor_shapes=naive_shapes,
         fingerprint=proto.fingerprint(),
+        forms=forms,
+        variants=resolved,
     )
     return blueprint.bind(poison=poison)

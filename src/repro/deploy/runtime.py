@@ -29,6 +29,7 @@ import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
 import repro.obs as obs
+from repro.deploy.weights import LazyWeightTable
 from repro.onnxlite.reader import load_model, proto_from_bytes
 from repro.onnxlite.schema import ModelProto, OperatorProto
 
@@ -86,9 +87,12 @@ class OnnxliteRuntime:
 
     def __init__(self, proto: ModelProto) -> None:
         self.proto = proto
-        # Quantized payloads are dequantized once at load time (the
-        # runtime computes in fp32, like OpenVINO's CPU fallback path).
-        self._weights = {t.name: t.dequantized() for t in proto.initializers}
+        # Quantized payloads dequantize lazily, on first access: the
+        # interpreter computes in fp32 (like OpenVINO's CPU fallback
+        # path) and materializes what it touches, while compiling an
+        # integer plan from the same runtime touches none of the
+        # quantized conv/fc weights at all.
+        self._weights = LazyWeightTable(proto)
         #: Lazily compiled plan backing ``run(..., compiled=True)``.
         self._plan: "InferencePlan | None" = None
         #: Live-environment footprint of the most recent :meth:`run`
@@ -118,7 +122,9 @@ class OnnxliteRuntime:
 
     # -- compilation ----------------------------------------------------------
 
-    def compile(self, poison: bool = False) -> "InferencePlan":
+    def compile(
+        self, poison: bool = False, variants: "dict[str, str] | None" = None
+    ) -> "InferencePlan":
         """Compile the model into an :class:`~repro.deploy.plan.InferencePlan`.
 
         The plan fuses Conv+BN+ReLU / Add+ReLU chains (the exact kernel
@@ -136,7 +142,7 @@ class OnnxliteRuntime:
         """
         from repro.deploy.plan import compile_plan
 
-        return compile_plan(self.proto, self._weights, poison=poison)
+        return compile_plan(self.proto, self._weights, poison=poison, variants=variants)
 
     @property
     def fingerprint(self) -> str:

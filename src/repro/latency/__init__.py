@@ -20,19 +20,40 @@ architecture:
 """
 
 from repro.latency.kernels import Kernel, extract_kernels
-from repro.latency.fusion import FUSION_RULES, fuse_graph, FusedOp, fusion_rule
+from repro.latency.fusion import (
+    FUSION_RULES,
+    KERNEL_VARIANTS,
+    FusedOp,
+    fuse_graph,
+    fusion_rule,
+    variants_for,
+)
 from repro.latency.devices import DeviceProfile, DEVICE_PROFILES
 from repro.latency.predictors import LatencyPredictor, predict_all_devices, LatencySummary
 from repro.latency.registry import get_predictor, list_predictors, PREDICTOR_METADATA
 from repro.latency.report import breakdown_table, latency_breakdown
-from repro.latency.energy import ENERGY_MODELS, EnergyModel, estimate_energy_mj
+from repro.latency.energy import (
+    ENERGY_MODELS,
+    VARIANT_COST_FACTORS,
+    EnergyModel,
+    VariantCostFactors,
+    energy_report,
+    estimate_energy_mj,
+    kernel_energy_mj,
+)
 
 __all__ = [
     "latency_breakdown",
     "breakdown_table",
     "EnergyModel",
     "ENERGY_MODELS",
+    "VariantCostFactors",
+    "VARIANT_COST_FACTORS",
+    "energy_report",
     "estimate_energy_mj",
+    "kernel_energy_mj",
+    "KERNEL_VARIANTS",
+    "variants_for",
     "Kernel",
     "extract_kernels",
     "fuse_graph",

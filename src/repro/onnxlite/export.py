@@ -79,7 +79,8 @@ def proto_to_bytes(proto: ModelProto) -> bytes:
         }
         if tensor.quantized or tensor.dtype != "float32":
             entry["dtype"] = tensor.dtype
-            entry["scale"] = tensor.scale
+            # Per-channel scales serialize as a JSON list, scalars as a number.
+            entry["scale"] = tensor.scale.tolist() if tensor.per_channel else tensor.scale
             entry["zero_point"] = tensor.zero_point
         entries.append(entry)
         payload.extend(tensor.data.tobytes())

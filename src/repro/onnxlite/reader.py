@@ -43,11 +43,14 @@ def proto_from_bytes(blob: bytes) -> ModelProto:
         start, nbytes = entry["offset"], entry["nbytes"]
         dtype = np.dtype(entry.get("dtype", "float32"))
         data = np.frombuffer(payload[start : start + nbytes], dtype=dtype)
+        scale = entry.get("scale", 0.0)
+        # A JSON list marks per-channel scales; a number is per-tensor.
+        scale = np.asarray(scale, dtype=np.float64) if isinstance(scale, list) else float(scale)
         proto.initializers.append(
             TensorProto(
                 entry["name"],
                 data.reshape(entry["shape"]).copy(),
-                scale=float(entry.get("scale", 0.0)),
+                scale=scale,
                 zero_point=int(entry.get("zero_point", 0)),
             )
         )

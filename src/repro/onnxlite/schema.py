@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import hashlib
+import json
 
 from dataclasses import dataclass, field
 from typing import Any
@@ -25,17 +26,42 @@ class TensorProto:
 
     Quantized tensors carry integer codes plus their affine parameters
     (``scale``, ``zero_point``); ``dequantized()`` reconstructs float32.
+    ``scale`` is either a scalar (per-tensor quantization) or a 1-D
+    vector with one entry per axis-0 slice (per-channel weight
+    quantization, zero_point 0 by convention).
     """
 
     name: str
     data: np.ndarray
-    scale: float = 0.0  # 0 marks an unquantized (float32) tensor
+    scale: "float | np.ndarray" = 0.0  # 0 marks an unquantized (float32) tensor
     zero_point: int = 0
 
     def __post_init__(self) -> None:
         dtype = np.asarray(self.data).dtype.name
-        if dtype in ("int8", "int16") or self.scale > 0:
-            if self.scale <= 0:
+        scale = self.scale
+        if np.ndim(scale) > 0 or isinstance(scale, (list, tuple)):
+            scale = np.ascontiguousarray(np.asarray(scale, dtype=np.float64).reshape(-1))
+            if scale.size == 1:
+                scale = float(scale[0])
+            else:
+                self.scale = scale
+        if np.ndim(scale) == 0:
+            self.scale = float(scale)
+        quantized = np.ndim(self.scale) > 0 or self.scale > 0
+        if dtype in ("int8", "int16") or quantized:
+            if np.ndim(self.scale) > 0:
+                if (self.scale <= 0).any():
+                    raise ValueError(f"per-channel tensor {self.name!r} needs positive scales")
+                if np.ndim(self.data) < 1 or self.scale.size != np.shape(self.data)[0]:
+                    raise ValueError(
+                        f"tensor {self.name!r}: {self.scale.size} channel scales do not "
+                        f"match axis-0 extent {np.shape(self.data)}"
+                    )
+                if self.zero_point != 0:
+                    raise ValueError(
+                        f"per-channel tensor {self.name!r} must be symmetric (zero_point 0)"
+                    )
+            elif self.scale <= 0:
                 raise ValueError(f"integer tensor {self.name!r} needs a positive scale")
             self.data = np.ascontiguousarray(self.data)
             if self.data.dtype.name not in ("int8", "int16"):
@@ -51,17 +77,35 @@ class TensorProto:
     @property
     def quantized(self) -> bool:
         """Whether the payload holds integer codes."""
-        return self.scale > 0
+        return self.per_channel or self.scale > 0
+
+    @property
+    def per_channel(self) -> bool:
+        """Whether ``scale`` is a per-axis-0-channel vector."""
+        return np.ndim(self.scale) > 0
 
     @property
     def nbytes(self) -> int:
         """Raw payload size in bytes."""
         return self.data.nbytes
 
+    def channel_scales(self) -> np.ndarray:
+        """Scales as a float64 vector of length ``data.shape[0]``.
+
+        Per-tensor scales are broadcast so integer kernels can treat
+        every quantized weight uniformly.
+        """
+        if self.per_channel:
+            return self.scale
+        return np.full(self.data.shape[0], float(self.scale), dtype=np.float64)
+
     def dequantized(self) -> np.ndarray:
         """The tensor as float32 (a copy for quantized payloads)."""
         if not self.quantized:
             return self.data
+        if self.per_channel:
+            col = self.scale.reshape((-1,) + (1,) * (self.data.ndim - 1))
+            return (self.data.astype(np.float64) * col).astype(np.float32)
         return ((self.data.astype(np.float64) - self.zero_point) * self.scale).astype(np.float32)
 
 
@@ -114,13 +158,21 @@ class ModelProto:
         h = hashlib.sha256()
         h.update(self.name.encode())
         h.update(repr((tuple(self.input_shape), tuple(self.output_shape))).encode())
+        # Metadata participates because it changes compilation (e.g. the
+        # activation-calibration table gates the integer kernel path).
+        # json with sorted keys is stable across container round trips,
+        # where dict insertion order may differ from the original.
+        h.update(json.dumps(self.metadata, sort_keys=True, default=str).encode())
         for op in self.operators:
             h.update(
                 repr((op.name, op.op_type, tuple(op.inputs), tuple(op.outputs),
                       sorted(op.attrs.items()))).encode()
             )
         for t in self.initializers:
-            h.update(repr((t.name, t.dtype, t.data.shape, t.scale, t.zero_point)).encode())
+            # repr() of an ndarray truncates, so hash scale via its raw
+            # bytes — covers both scalar and per-channel vectors.
+            h.update(repr((t.name, t.dtype, t.data.shape, t.zero_point)).encode())
+            h.update(np.asarray(t.scale, dtype=np.float64).tobytes())
             h.update(memoryview(np.ascontiguousarray(t.data)).cast("B"))
         digest = h.hexdigest()
         self._fingerprint_cache = digest

@@ -12,7 +12,13 @@ quantization.  This subpackage provides an honest simulation:
   objective.
 """
 
-from repro.quant.affine import AffineQuantizer, dequantize, quantize_affine, quantization_error
+from repro.quant.affine import (
+    AffineQuantizer,
+    PerChannelQuantizer,
+    dequantize,
+    quantize_affine,
+    quantization_error,
+)
 from repro.quant.model import (
     fake_quantize_model,
     quantized_size_bytes,
@@ -28,6 +34,7 @@ __all__ = [
     "export_quantized_model",
     "quantized_model_size_mb",
     "AffineQuantizer",
+    "PerChannelQuantizer",
     "quantize_affine",
     "dequantize",
     "quantization_error",

@@ -12,11 +12,17 @@ activations; both are supported.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["AffineQuantizer", "quantize_affine", "dequantize", "quantization_error"]
+__all__ = [
+    "AffineQuantizer",
+    "PerChannelQuantizer",
+    "quantize_affine",
+    "dequantize",
+    "quantization_error",
+]
 
 _DTYPE_RANGES = {
     "int8": (-128, 127),
@@ -90,8 +96,99 @@ class AffineQuantizer:
         return self.dequantize(self.quantize(values))
 
 
-def quantize_affine(values: np.ndarray, dtype: str = "int8", symmetric: bool = True) -> tuple[np.ndarray, AffineQuantizer]:
-    """Fit a quantizer to ``values`` and return (codes, quantizer)."""
+@dataclass(frozen=True)
+class PerChannelQuantizer:
+    """A fitted per-channel (axis-0) symmetric quantizer.
+
+    One scale per output channel — the TFLite/OpenVINO weight layout for
+    Conv (``(C_out, C_in, k, k)``) and FC (``(out, in)``) tensors.  A
+    narrow channel no longer inherits the widest channel's step size,
+    which is what keeps int8 conv accuracy loss inside the paper's
+    reported tolerance.  Weights are always symmetric (zero_point 0), so
+    integer kernels can fold batch-norm by rescaling ``scales`` alone.
+    """
+
+    scales: np.ndarray = field(repr=False)  # float64, shape (C,)
+    dtype: str = "int8"
+
+    def __post_init__(self) -> None:
+        if self.dtype not in _DTYPE_RANGES:
+            raise ValueError(f"unsupported dtype {self.dtype!r}; choose from {sorted(_DTYPE_RANGES)}")
+        scales = np.ascontiguousarray(np.asarray(self.scales, dtype=np.float64).reshape(-1))
+        if scales.size == 0 or (scales <= 0).any():
+            raise ValueError("per-channel scales must be a non-empty positive vector")
+        object.__setattr__(self, "scales", scales)
+
+    @property
+    def qmin(self) -> int:
+        return _DTYPE_RANGES[self.dtype][0]
+
+    @property
+    def qmax(self) -> int:
+        return _DTYPE_RANGES[self.dtype][1]
+
+    @property
+    def zero_point(self) -> int:
+        """Symmetric by construction."""
+        return 0
+
+    @property
+    def num_channels(self) -> int:
+        return int(self.scales.size)
+
+    def _col(self, values: np.ndarray) -> np.ndarray:
+        """Scales broadcast-shaped against ``values`` along axis 0."""
+        if values.shape[0] != self.num_channels:
+            raise ValueError(
+                f"tensor has {values.shape[0]} channels on axis 0, quantizer "
+                f"has {self.num_channels} scales"
+            )
+        return self.scales.reshape((-1,) + (1,) * (values.ndim - 1))
+
+    @classmethod
+    def fit(cls, values: np.ndarray, dtype: str = "int8") -> "PerChannelQuantizer":
+        """Calibrate one symmetric scale per axis-0 slice."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim < 2:
+            raise ValueError(
+                f"per-channel quantization needs a >= 2-D tensor, got ndim {values.ndim}"
+            )
+        qmin, qmax = _DTYPE_RANGES[dtype]
+        bounds = np.abs(values.reshape(values.shape[0], -1)).max(axis=1)
+        scales = np.maximum(bounds / max(abs(qmin), qmax), 1e-12)
+        return cls(scales=scales, dtype=dtype)
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Float -> integer codes (numpy integer dtype)."""
+        values = np.asarray(values, dtype=np.float64)
+        q = np.round(values / self._col(values))
+        return np.clip(q, self.qmin, self.qmax).astype(self.dtype)
+
+    def dequantize(self, codes: np.ndarray) -> np.ndarray:
+        """Integer codes -> reconstructed float32."""
+        return (codes.astype(np.float64) * self._col(codes)).astype(np.float32)
+
+    def roundtrip(self, values: np.ndarray) -> np.ndarray:
+        """Quantize-dequantize (the fake-quant operation)."""
+        return self.dequantize(self.quantize(values))
+
+
+def quantize_affine(
+    values: np.ndarray,
+    dtype: str = "int8",
+    symmetric: bool = True,
+    per_channel: bool = False,
+) -> tuple[np.ndarray, "AffineQuantizer | PerChannelQuantizer"]:
+    """Fit a quantizer to ``values`` and return (codes, quantizer).
+
+    ``per_channel=True`` fits one symmetric scale per axis-0 slice (the
+    weight convention); it requires ``symmetric`` and a >= 2-D tensor.
+    """
+    if per_channel:
+        if not symmetric:
+            raise ValueError("per-channel quantization is symmetric-only (weight convention)")
+        quantizer = PerChannelQuantizer.fit(values, dtype=dtype)
+        return quantizer.quantize(values), quantizer
     quantizer = AffineQuantizer.fit(values, dtype=dtype, symmetric=symmetric)
     return quantizer.quantize(values), quantizer
 

@@ -1,0 +1,120 @@
+"""Activation calibration for the integer inference path.
+
+True int8 execution needs more than quantized weights: every activation
+tensor crossing a kernel boundary needs an affine quantizer of its own,
+fitted to the value ranges real data produces (the standard post-training
+calibration step of TFLite/OpenVINO).  :func:`calibrate_activations`
+runs the fp32 *interpreter* — the reference implementation the compiled
+plans are certified against — over a handful of calibration batches,
+records per-tensor min/max, and embeds asymmetric uint8 quantizers in
+``proto.metadata["activations"]`` keyed by tensor name.
+
+The deploy compiler (:func:`repro.deploy.passes.plan_quantization`)
+consumes that table to decide which kernels can run in the integer
+domain; a model without it simply compiles to the fp32 path, so
+calibration is strictly opt-in and old containers keep working.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.onnxlite.schema import ModelProto
+from repro.quant.affine import AffineQuantizer
+
+__all__ = [
+    "ACTIVATIONS_KEY",
+    "calibrate_activations",
+    "calibration_quantizers",
+]
+
+#: Metadata key holding the activation quantizer table.
+ACTIVATIONS_KEY = "activations"
+
+
+def calibrate_activations(
+    proto: ModelProto,
+    samples: np.ndarray,
+    dtype: str = "uint8",
+    batch_size: int = 8,
+) -> dict[str, AffineQuantizer]:
+    """Fit activation quantizers on calibration data and embed them.
+
+    Parameters
+    ----------
+    proto:
+        The model to calibrate (quantized weights are fine — the
+        interpreter dequantizes, so the observed ranges include the
+        weight quantization error, as they should).
+    samples:
+        ``(N, C, H, W)`` calibration images.  A few dozen representative
+        patches suffice; ranges are pooled over all of them.
+    dtype:
+        Integer dtype of the activation quantizers (uint8 is the
+        conventional choice: ReLU outputs are non-negative, so the
+        asymmetric uint8 grid wastes none of its range).
+    batch_size:
+        Interpreter batch size while observing.
+
+    Returns
+    -------
+    dict[str, AffineQuantizer]
+        Tensor name -> fitted quantizer (also serialized into
+        ``proto.metadata["activations"]``, which survives the onnxlite
+        container round trip).
+    """
+    from repro.deploy.runtime import OnnxliteRuntime
+
+    samples = np.asarray(samples, dtype=np.float32)
+    if samples.ndim != 4 or samples.shape[0] == 0:
+        raise ValueError(f"calibration data must be (N, C, H, W), got {samples.shape}")
+    runtime = OnnxliteRuntime(proto)
+    lo: dict[str, float] = {}
+    hi: dict[str, float] = {}
+
+    def observe(name: str, value: np.ndarray) -> None:
+        lo[name] = min(lo.get(name, np.inf), float(value.min()))
+        hi[name] = max(hi.get(name, -np.inf), float(value.max()))
+
+    for start in range(0, samples.shape[0], batch_size):
+        x = samples[start : start + batch_size]
+        env: dict[str, np.ndarray] = {"input": x}
+        observe("input", x)
+        for op in proto.operators:
+            out = runtime._execute(op, [env[name] for name in op.inputs])
+            env[op.outputs[0]] = out
+            observe(op.outputs[0], out)
+
+    quantizers: dict[str, AffineQuantizer] = {}
+    table: dict[str, dict] = {}
+    for name in lo:
+        quantizer = AffineQuantizer.fit(
+            np.array([lo[name], hi[name]]), dtype=dtype, symmetric=False
+        )
+        quantizers[name] = quantizer
+        table[name] = {
+            "scale": quantizer.scale,
+            "zero_point": quantizer.zero_point,
+            "dtype": dtype,
+        }
+    proto.metadata[ACTIVATIONS_KEY] = table
+    # Metadata feeds the fingerprint, which was cached before calibration.
+    proto._fingerprint_cache = None
+    return quantizers
+
+
+def calibration_quantizers(proto: ModelProto) -> dict[str, AffineQuantizer]:
+    """Rebuild the activation quantizer table from proto metadata.
+
+    Returns an empty dict when the model was never calibrated (the
+    compiler then plans a pure fp32 execution).
+    """
+    table = proto.metadata.get(ACTIVATIONS_KEY) or {}
+    return {
+        name: AffineQuantizer(
+            scale=float(entry["scale"]),
+            zero_point=int(entry["zero_point"]),
+            dtype=str(entry.get("dtype", "uint8")),
+        )
+        for name, entry in table.items()
+    }

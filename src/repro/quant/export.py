@@ -14,7 +14,7 @@ from repro.graph.trace import trace_model
 from repro.nn.resnet import SearchableResNet18
 from repro.onnxlite.export import build_model_proto, proto_to_bytes
 from repro.onnxlite.schema import TensorProto
-from repro.quant.affine import AffineQuantizer
+from repro.quant.affine import AffineQuantizer, PerChannelQuantizer
 from repro.quant.model import _is_quantizable
 
 __all__ = ["export_quantized_model", "quantized_model_size_mb"]
@@ -25,24 +25,33 @@ def export_quantized_model(
     input_hw: tuple[int, int] = (100, 100),
     path: str | Path | None = None,
     dtype: str = "int8",
+    per_channel: bool = True,
 ) -> bytes:
     """Trace and export ``model`` with quantized weight payloads.
 
     Conv/FC weights are stored as integer codes with their affine
     parameters; batch-norm parameters, biases and running statistics stay
-    float32 (the standard PTQ layout).
+    float32 (the standard PTQ layout).  ``per_channel`` (the default)
+    fits one symmetric scale per output channel instead of per tensor —
+    the TFLite weight convention, and what the integer kernel path needs
+    to fold batch-norm without leaving the int8 domain.
     """
     graph = trace_model(model, input_hw=input_hw)
     proto = build_model_proto(model, graph, name="quantized-model")
     replaced: list[TensorProto] = []
     for tensor in proto.initializers:
         if _is_quantizable(tensor.name, tensor.data):
-            quantizer = AffineQuantizer.fit(tensor.data, dtype=dtype, symmetric=True)
+            if per_channel:
+                quantizer = PerChannelQuantizer.fit(tensor.data, dtype=dtype)
+                scale: object = quantizer.scales
+            else:
+                quantizer = AffineQuantizer.fit(tensor.data, dtype=dtype, symmetric=True)
+                scale = quantizer.scale
             replaced.append(
                 TensorProto(
                     tensor.name,
                     quantizer.quantize(tensor.data),
-                    scale=quantizer.scale,
+                    scale=scale,
                     zero_point=quantizer.zero_point,
                 )
             )
@@ -50,6 +59,7 @@ def export_quantized_model(
             replaced.append(tensor)
     proto.initializers = replaced
     proto.metadata["quantization"] = dtype
+    proto.metadata["per_channel"] = per_channel
     blob = proto_to_bytes(proto)
     if path is not None:
         Path(path).write_bytes(blob)

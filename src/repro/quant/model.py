@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.module import Module
-from repro.quant.affine import AffineQuantizer
+from repro.quant.affine import AffineQuantizer, PerChannelQuantizer
 
 __all__ = ["quantize_state_dict", "fake_quantize_model", "quantized_size_bytes", "quantized_size_mb"]
 
@@ -30,20 +30,29 @@ def _is_quantizable(name: str, array: np.ndarray) -> bool:
     return array.ndim >= 2
 
 
+def _fit_weight_quantizer(
+    array: np.ndarray, dtype: str, per_channel: bool
+) -> "AffineQuantizer | PerChannelQuantizer":
+    if per_channel:
+        return PerChannelQuantizer.fit(array, dtype=dtype)
+    return AffineQuantizer.fit(array, dtype=dtype, symmetric=True)
+
+
 def quantize_state_dict(
-    state: dict[str, np.ndarray], dtype: str = "int8"
-) -> tuple[dict[str, np.ndarray], dict[str, AffineQuantizer]]:
+    state: dict[str, np.ndarray], dtype: str = "int8", per_channel: bool = True
+) -> tuple[dict[str, np.ndarray], dict[str, "AffineQuantizer | PerChannelQuantizer"]]:
     """Quantize the weight tensors of a state dict.
 
     Returns the state dict with quantizable tensors replaced by their
-    fake-quant round trips, plus the fitted per-tensor quantizers.
+    fake-quant round trips, plus the fitted quantizers (per-output-channel
+    by default, matching :func:`repro.quant.export.export_quantized_model`).
     """
     out: dict[str, np.ndarray] = {}
-    quantizers: dict[str, AffineQuantizer] = {}
+    quantizers: dict[str, "AffineQuantizer | PerChannelQuantizer"] = {}
     for name, array in state.items():
         array = np.asarray(array)
         if _is_quantizable(name, array):
-            quantizer = AffineQuantizer.fit(array, dtype=dtype, symmetric=True)
+            quantizer = _fit_weight_quantizer(array, dtype, per_channel)
             out[name] = quantizer.roundtrip(array)
             quantizers[name] = quantizer
         else:
@@ -51,17 +60,21 @@ def quantize_state_dict(
     return out, quantizers
 
 
-def fake_quantize_model(model: Module, dtype: str = "int8") -> dict[str, AffineQuantizer]:
+def fake_quantize_model(
+    model: Module, dtype: str = "int8", per_channel: bool = True
+) -> dict[str, "AffineQuantizer | PerChannelQuantizer"]:
     """Quantize-dequantize a model's weights in place.
 
     After this call the model still runs in fp32 but its weights carry
     exactly the int8 representation error; evaluate it on data to measure
-    the PTQ accuracy drop.  Returns the fitted quantizers.
+    the PTQ accuracy drop.  Returns the fitted quantizers.  ``per_channel``
+    must match the export convention for the result to mirror the deployed
+    model bit-for-bit.
     """
-    quantizers: dict[str, AffineQuantizer] = {}
+    quantizers: dict[str, "AffineQuantizer | PerChannelQuantizer"] = {}
     for name, parameter in model.named_parameters():
         if _is_quantizable(name, parameter.data):
-            quantizer = AffineQuantizer.fit(parameter.data, dtype=dtype, symmetric=True)
+            quantizer = _fit_weight_quantizer(parameter.data, dtype, per_channel)
             parameter.data[...] = quantizer.roundtrip(parameter.data)
             quantizers[name] = quantizer
     return quantizers

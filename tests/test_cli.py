@@ -99,6 +99,41 @@ class TestCommands:
         assert payload["policy"]["max_batch_size"] == 4
         assert "speedup_vs_serial" in payload
 
+    def test_quantized_infer_then_serve_bench_share_autotune_cache(self, tmp_path, capsys):
+        """The int8 scenario end to end: infer prints the variant/energy
+        table, serve-bench reuses the autotune cache (same fingerprint +
+        batch) and emits the decision-table artifact."""
+        cache = tmp_path / "autotune.json"
+        base = ["--size", "24", "--kernel-size", "3", "--padding", "1",
+                "--pool-choice", "0", "--initial-output-feature", "32",
+                "--quantized", "--autotune-cache", str(cache)]
+        assert main(["infer", "--batch", "4", "--runs", "1", *base]) == 0
+        out = capsys.readouterr().out
+        assert "autotuned" in out and "Kernel variants & estimated energy" in out
+        assert "energy/inference" in out
+        assert cache.exists()
+
+        serving = tmp_path / "serving.json"
+        table = tmp_path / "autotune_table.json"
+        code = main([
+            "serve-bench", "--duration", "0.4", "--clients", "4",
+            "--max-batch", "4", "--max-delay-ms", "2", "--queue-depth", "32",
+            "--json", str(serving), "--autotune-json", str(table), *base,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cached decisions" in out  # infer's cache entry replayed
+        assert "quantized vs fp32 serial" in out
+        import json
+        payload = json.loads(serving.read_text())
+        assert payload["quantized"]["autotuned_layers"] > 0
+        assert payload["quantized"]["autotune_cached"] is True
+        assert payload["quantized"]["quantized_vs_fp32"] > 0
+        decisions = json.loads(table.read_text())
+        assert decisions["variants"] and decisions["batch"] == 4
+        for row in decisions["table"].values():
+            assert row["chosen"] in row["timings_us"]
+
     def test_serve_bench_policy_seeding(self, capsys):
         code = main([
             "serve-bench", "--size", "24", "--duration", "0.3", "--clients", "4",

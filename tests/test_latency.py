@@ -162,3 +162,57 @@ class TestCalibration:
     def test_anchor_set_covers_tables_4_and_5(self):
         labels = {a.label for a in PAPER_ANCHORS}
         assert {"baseline-5ch", "baseline-7ch", "pareto-A", "pareto-C", "sweep-max"} <= labels
+
+
+class TestKernelVariantRegistry:
+    """The predictor/executor matching invariant for kernel variants.
+
+    ``repro.latency.fusion.KERNEL_VARIANTS`` is the single source of
+    truth for which kernel implementations exist; the deploy compiler
+    only emits names from it (asserted in ``tests/test_qkernels.py``)
+    and the energy model must price every one of them.
+    """
+
+    def _registry_names(self):
+        from repro.latency import KERNEL_VARIANTS
+
+        return {v for names in KERNEL_VARIANTS.values() for v in names}
+
+    def test_energy_factors_cover_registry_exactly(self):
+        from repro.latency import VARIANT_COST_FACTORS
+
+        assert set(VARIANT_COST_FACTORS) == self._registry_names()
+
+    def test_defaults_are_fp32(self):
+        from repro.latency import KERNEL_VARIANTS, variants_for
+
+        for op, names in KERNEL_VARIANTS.items():
+            assert names[0].endswith(".f32"), (op, names)
+            assert variants_for(op)[0] == names[0]
+
+    def test_variant_pricing_scales_energy(self):
+        from repro.latency import kernel_energy_mj
+
+        kernel = Kernel(name="k", kernel_type="conv-bn-relu", flops=1e8,
+                        input_bytes=1e5, output_bytes=1e5, weight_bytes=1e5,
+                        conv_kernel=3)
+        fp32 = kernel_energy_mj(kernel, "cortexA76cpu", "conv.im2col.f32")
+        int8 = kernel_energy_mj(kernel, "cortexA76cpu", "conv.im2col.int8")
+        winograd = kernel_energy_mj(kernel, "cortexA76cpu", "conv.winograd2x2.f32")
+        assert int8 < fp32  # quarter bytes + quarter pJ/MAC
+        assert winograd != fp32
+        assert kernel_energy_mj(kernel, "cortexA76cpu", None) == fp32  # default
+        with pytest.raises(KeyError):
+            kernel_energy_mj(kernel, "cortexA76cpu", "conv.fft.f32")
+
+    def test_energy_report_rows_match_kernels(self):
+        from repro.latency import energy_report
+
+        model = SearchableResNet18(in_channels=5, kernel_size=3, stride=2, padding=1,
+                                   pool_choice=0, initial_output_feature=32)
+        graph = trace_model(model, input_hw=(24, 24))
+        rows = energy_report(graph, "cortexA76cpu")
+        kernels = extract_kernels(graph)
+        assert [r["kernel"] for r in rows] == [k.name for k in kernels]
+        assert all(r["variant"] in self._registry_names() for r in rows)
+        assert all(r["energy_mj"] > 0 for r in rows)

@@ -46,6 +46,15 @@ class TestSweepMarkdown:
                          "device predictions skipped", "store lines quarantined"):
             assert quantity in text
 
+    def test_kernel_energy_section(self, small_result):
+        text = sweep_markdown(small_result, include_baseline=False)
+        assert "## Kernel variants & energy" in text
+        for scenario in ("fp32 im2col", "Winograd F(2x2,3x3)", "int8 integer path"):
+            assert scenario in text
+        # int8 should price below the fp32 baseline (bytes + pJ/MAC factors).
+        int8_row = next(line for line in text.splitlines() if "int8 integer path" in line)
+        assert "0." in int8_row.split("|")[3]
+
     def test_baseline_section_optional(self, small_result):
         with_baseline = sweep_markdown(small_result, include_baseline=True)
         without = sweep_markdown(small_result, include_baseline=False)

@@ -432,8 +432,9 @@ class TestArenaSmallestFit:
             arena.release(v)
         assert arena._free_sizes == sorted(arena._free_sizes)
         # Smallest fit: a request of 10 must take the 16-slot, not 64.
+        # (Pool capacities are tracked in bytes: 16 float32 = 64 bytes.)
         v = arena.acquire((10,))
-        assert arena._live[id(v)].size == 16
+        assert arena._live[id(v)].size == 16 * 4
         assert arena.reuses == 1
         # Oversized request allocates fresh instead of misusing the pool.
         big = arena.acquire((100,))
