@@ -26,6 +26,7 @@ from repro.nas.evaluators import TrainingEvaluator
 from repro.nn.resnet import SearchableResNet18, build_model
 from repro.onnxlite.export import export_model
 from repro.pareto.dominance import non_dominated_mask, non_dominated_mask_kung
+from repro.parallel import available_cpus
 from repro.profiling import profile_training_step
 from repro.serve import BatchPolicy, PlanServer, run_load, serial_baseline
 from repro.tensor import Tensor, WorkspacePool, conv2d, use_workspaces
@@ -620,6 +621,74 @@ class TestServingThroughput:
         benchmark.extra_info["latency_ms_p50"] = round(report.latency_ms_p50, 3)
         benchmark.extra_info["latency_ms_p99"] = round(report.latency_ms_p99, 3)
         benchmark.extra_info["mean_batch_size"] = round(report.mean_batch_size, 2)
+
+    def test_process_workers_beat_thread_replicas(self, benchmark, serve_plan):
+        """Process workers >= 1.5x thread replicas on a >= 4-core machine.
+
+        Thread replicas time-slice one GIL, so added replicas buy little
+        on CPU-bound plans; process workers over the shared-memory
+        weight arena actually use the cores.  Both modes run 4 replicas
+        and identical load, timed *paired and interleaved* (thread round
+        then process round, three pairs, median ratio) per the repo
+        convention.  The 1.5x floor (not the naive 4x) leaves room for
+        the BLAS inner loops that already release the GIL in thread
+        mode and for staging/IPC overhead.  On fewer than 4 usable
+        cores the ratio is recorded but not asserted — there is no
+        parallelism for process mode to unlock.
+        """
+        workers = 4
+        cores = available_cpus()
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=serve_plan.input_shape).astype(np.float32)
+
+        def policy(mode: str) -> BatchPolicy:
+            return BatchPolicy(max_batch_size=16, max_queue_delay_ms=5.0,
+                               max_queue_depth=128, replicas=workers,
+                               worker_mode=mode)
+
+        rounds = []
+        proc_stats = {}
+        with PlanServer(serve_plan, policy=policy("thread"), cpus=workers) as ts, \
+                PlanServer(serve_plan, policy=policy("process"), cpus=workers) as ps:
+            # Cross-mode identity spot-check on a bucket-1 request.
+            np.testing.assert_array_equal(ts.infer(x), ps.infer(x))
+            for _ in range(3):
+                thread_report = run_load(ts, duration_s=1.0, clients=32, seed=0)
+                proc_report = run_load(ps, duration_s=1.0, clients=32, seed=0)
+                rounds.append((proc_report.throughput_ips
+                               / thread_report.throughput_ips,
+                               thread_report, proc_report))
+            proc_stats = ps.stats()
+        rounds.sort(key=lambda r: r[0])
+        ratio, thread_report, proc_report = rounds[len(rounds) // 2]
+
+        assert thread_report.errors == 0 and proc_report.errors == 0
+        assert proc_stats["worker_deaths"] == 0 and not proc_stats["degraded"]
+        # Weights were shared, not copied, into the 4 workers.
+        assert proc_stats["shared_weight_bytes"] > 0
+        assert proc_stats["worker_private_weight_bytes"] == 0
+        if cores >= workers:
+            assert ratio >= 1.5, (
+                f"{workers} process workers should beat {workers} thread "
+                f"replicas on {cores} cores: thread "
+                f"{thread_report.throughput_ips:.0f} images/s vs process "
+                f"{proc_report.throughput_ips:.0f} images/s ({ratio:.2f}x)"
+            )
+
+        if not getattr(benchmark, "disabled", False):
+            with PlanServer(serve_plan, policy=policy("process"),
+                            cpus=workers) as artifact_server:
+                benchmark(artifact_server.infer, x)
+        benchmark.extra_info["worker_mode"] = "process"
+        benchmark.extra_info["workers"] = workers
+        benchmark.extra_info["cpu_count"] = cores
+        benchmark.extra_info["process_vs_thread_x"] = round(ratio, 2)
+        benchmark.extra_info["thread_throughput_ips"] = round(
+            thread_report.throughput_ips, 1)
+        benchmark.extra_info["process_throughput_ips"] = round(
+            proc_report.throughput_ips, 1)
+        benchmark.extra_info["shared_weight_mb"] = round(
+            proc_stats["shared_weight_bytes"] / 1e6, 2)
 
 
 class TestQuantizedServing:

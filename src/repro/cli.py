@@ -310,6 +310,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.graph.trace import trace_model
     from repro.nn.resnet import build_model
     from repro.onnxlite.export import export_model
+    from repro.parallel import available_cpus
     from repro.serve import (
         BatchPolicy,
         PlanServer,
@@ -333,11 +334,13 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
               f"{' (cached decisions)' if tune.cached else ''}")
     else:
         plan = fp32_plan
+    replicas = args.workers if args.workers > 0 else args.replicas
     if args.target_p99_ms > 0:
         policy = suggest_batch_policy(
             trace_model(model, input_hw=(args.size, args.size)),
             target_p99_ms=args.target_p99_ms,
-            replicas=args.replicas,
+            replicas=replicas,
+            worker_mode=args.worker_mode,
         )
         print(f"policy seeded from latency predictors (target p99 {args.target_p99_ms} ms): "
               f"max_batch={policy.max_batch_size}, "
@@ -348,7 +351,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             max_batch_size=args.max_batch,
             max_queue_delay_ms=args.max_delay_ms,
             max_queue_depth=args.queue_depth,
-            replicas=args.replicas,
+            replicas=replicas,
+            worker_mode=args.worker_mode,
         )
     baseline = serial_baseline(plan.replicate(), duration_s=min(1.0, args.duration / 2))
     quantized_info = None
@@ -370,6 +374,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
               f"{fp32_serial.throughput_ips:.1f} images/sec ({ratio:.2f}x)")
     try:
         with PlanServer(plan, policy=policy) as server:
+            effective_policy = server.policy  # replicas may have been clamped
             report = run_load(
                 server,
                 duration_s=args.duration,
@@ -381,6 +386,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     finally:
         if args.obs_log:
             obs.shutdown()
+    policy = effective_policy
     speedup = (report.throughput_ips / baseline.throughput_ips
                if baseline.throughput_ips else float("nan"))
     print(f"serial baseline: {baseline.throughput_ips:.1f} images/sec "
@@ -389,6 +395,14 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     print(f"  speedup     {speedup:.2f}x vs serial single-image")
     print(f"  cache       hits {stats['hits']}  misses {stats['misses']}  "
           f"rejected {stats['rejected']}")
+    print(f"  workers     mode {policy.worker_mode}  replicas {policy.replicas}  "
+          f"cores {available_cpus()}")
+    if policy.worker_mode == "process":
+        print(f"  processes   pids {stats.get('worker_pids', [])}  "
+              f"deaths {stats.get('worker_deaths', 0)}  "
+              f"respawns {stats.get('worker_respawns', 0)}  "
+              f"shared weights {stats.get('shared_weight_bytes', 0) / 1e6:.1f} MB "
+              f"(private copies {stats.get('worker_private_weight_bytes', 0)} B)")
     if args.obs_log:
         print(f"observability log written to {args.obs_log} "
               f"(render with: repro-nas obs report {args.obs_log})")
@@ -402,6 +416,22 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 "max_queue_delay_ms": round(policy.max_queue_delay_ms, 3),
                 "max_queue_depth": policy.max_queue_depth,
                 "replicas": policy.replicas,
+                "worker_mode": policy.worker_mode,
+            },
+            "counters": {
+                "rejected": stats["rejected"],
+                "batches_executed": stats["batches_executed"],
+                "worker_deaths": stats.get("worker_deaths", 0),
+                "worker_respawns": stats.get("worker_respawns", 0),
+            },
+            "extra_info": {
+                "worker_mode": policy.worker_mode,
+                "workers": policy.replicas,
+                "cpu_count": available_cpus(),
+                "degraded": stats.get("degraded", False),
+                "shared_weight_bytes": stats.get("shared_weight_bytes", 0),
+                "worker_private_weight_bytes": stats.get(
+                    "worker_private_weight_bytes", 0),
             },
             "input_hw": args.size,
         }
@@ -520,6 +550,15 @@ def build_parser() -> argparse.ArgumentParser:
                                   "(0 = closed loop)")
     serve_bench.add_argument("--replicas", type=int, default=1,
                              help="plan replicas / worker threads")
+    serve_bench.add_argument("--worker-mode", choices=("thread", "process"),
+                             default="thread",
+                             help="run plan replicas as threads (shared GIL) or "
+                                  "as worker processes over shared-memory "
+                                  "weight arenas")
+    serve_bench.add_argument("--workers", type=int, default=0,
+                             help="worker count for --worker-mode process "
+                                  "(0 = use --replicas); clamped to the usable "
+                                  "core count")
     serve_bench.add_argument("--max-batch", type=int, default=16,
                              help="micro-batcher coalescing limit")
     serve_bench.add_argument("--max-delay-ms", type=float, default=5.0,

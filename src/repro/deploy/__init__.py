@@ -30,7 +30,7 @@ from repro.deploy.plan import (
     compile_plan,
 )
 from repro.deploy.runtime import OnnxliteRuntime, load_runtime
-from repro.deploy.weights import LazyWeightTable
+from repro.deploy.weights import LazyWeightTable, plan_weight_arrays, weight_residency
 
 __all__ = [
     "Arena",
@@ -43,4 +43,6 @@ __all__ = [
     "autotune_variants",
     "compile_plan",
     "load_runtime",
+    "plan_weight_arrays",
+    "weight_residency",
 ]

@@ -1027,6 +1027,18 @@ class InferencePlan:
     # -- introspection --------------------------------------------------------------
 
     @property
+    def blueprint(self) -> "_PlanBlueprint | None":
+        """The bind-time blueprint (``None`` for hand-built plans).
+
+        Exposed for the serving tier: :mod:`repro.serve.shm` publishes
+        the blueprint's node weight table into shared memory and rebinds
+        it in worker processes onto zero-copy views, so replicas in
+        *other processes* cost arenas only — the same deal
+        :meth:`replicate` gives threads.
+        """
+        return self._blueprint
+
+    @property
     def num_kernels(self) -> int:
         """Number of compiled dispatches per forward pass."""
         return len(self.steps)

@@ -29,7 +29,45 @@ import numpy as np
 
 from repro.onnxlite.schema import ModelProto, TensorProto
 
-__all__ = ["LazyWeightTable"]
+__all__ = ["LazyWeightTable", "plan_weight_arrays", "weight_residency"]
+
+
+def plan_weight_arrays(nodes) -> "Iterator[tuple[str, str, np.ndarray]]":
+    """Every bound weight array of a compiled plan: (node, role, array).
+
+    Walks the :class:`~repro.deploy.passes.PlanNode` weight dicts in a
+    deterministic order.  After :func:`~repro.deploy.plan.compile_plan`
+    has bound a template once, these dicts hold *everything* the kernels
+    capture — fused fp32 matrices ("weight", "bias", "scale", "shift"),
+    GEMM transposes ("weight_t"), int8 code matrices and per-channel
+    scales ("w_codes_f32", "w_scales", "w_row_sums") and Winograd
+    transforms ("winograd_u") — so publishing exactly this set into a
+    shared-memory segment covers every kernel variant a rebind can pick.
+    """
+    for node in nodes:
+        for role in sorted(node.weights):
+            yield node.name, role, np.asarray(node.weights[role])
+
+
+def weight_residency(nodes, buffer) -> dict[str, int]:
+    """How many weight bytes live inside ``buffer`` vs privately.
+
+    ``buffer`` is a buffer-protocol object (e.g. a
+    ``multiprocessing.shared_memory.SharedMemory.buf`` memoryview).
+    Returns ``{"shared_bytes", "private_bytes", "arrays"}`` — the
+    materialized_bytes-style assertion behind the serving tier's
+    "weights are shared, not copied" guarantee: a worker that rebinds a
+    plan from shared memory must report ``private_bytes == 0``.
+    """
+    base = np.frombuffer(buffer, dtype=np.uint8)
+    shared = private = arrays = 0
+    for _node, _role, arr in plan_weight_arrays(nodes):
+        arrays += 1
+        if np.shares_memory(arr, base):
+            shared += arr.nbytes
+        else:
+            private += arr.nbytes
+    return {"shared_bytes": shared, "private_bytes": private, "arrays": arrays}
 
 
 class LazyWeightTable(Mapping):

@@ -14,6 +14,7 @@ from repro.parallel.executor import (
     ProcessPoolExecutorBackend,
     SerialExecutor,
     ThreadPoolExecutorBackend,
+    available_cpus,
     make_executor,
 )
 from repro.parallel.partition import chunk_evenly, chunk_fixed
@@ -25,6 +26,7 @@ __all__ = [
     "ThreadPoolExecutorBackend",
     "ProcessPoolExecutorBackend",
     "MapItemResult",
+    "available_cpus",
     "make_executor",
     "chunk_evenly",
     "chunk_fixed",

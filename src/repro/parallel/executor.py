@@ -36,6 +36,7 @@ __all__ = [
     "ThreadPoolExecutorBackend",
     "ProcessPoolExecutorBackend",
     "MapItemResult",
+    "available_cpus",
     "make_executor",
 ]
 
@@ -404,6 +405,21 @@ class ProcessPoolExecutorBackend(Executor):
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+
+
+def available_cpus() -> int:
+    """CPUs actually usable by this process (affinity-aware, >= 1).
+
+    ``os.cpu_count()`` reports the machine; under cgroup/affinity limits
+    (CI runners, containers) ``sched_getaffinity`` is the honest number.
+    Sizing worker pools past this only adds context-switch overhead —
+    the serving policy clamps replicas against it (see
+    :func:`repro.serve.clamp_replicas`).
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # non-Linux / restricted platforms
+        return max(1, os.cpu_count() or 1)
 
 
 def make_executor(

@@ -11,7 +11,11 @@ server that batches, parallelizes, and sheds load:
   by ``(model fingerprint, batch bucket)`` with power-of-two padding,
   so steady-state serving performs zero arena allocations;
 - :class:`PlanServer` — N worker threads, each running exclusive plan
-  replicas (weights shared, arenas private);
+  replicas (weights shared, arenas private); with
+  ``BatchPolicy(worker_mode="process")`` batches execute in a
+  :class:`WorkerPool` of worker *processes* over shared-memory weight
+  arenas (:mod:`repro.serve.shm`), escaping the GIL on multi-core
+  machines with bitwise-identical results;
 - :class:`BatchPolicy` / :func:`suggest_batch_policy` — batching knobs,
   optionally seeded from the device latency predictors against a p99
   budget;
@@ -29,25 +33,43 @@ from repro.serve.loadgen import LoadReport, run_load, serial_baseline
 from repro.serve.policy import (
     BatchPolicy,
     bucket_for,
+    clamp_replicas,
     plan_buckets,
     predicted_batch_ms,
     suggest_batch_policy,
     suggest_max_batch_size,
 )
 from repro.serve.server import PlanServer
+from repro.serve.shm import (
+    AttachedPlan,
+    PlanSpec,
+    SharedPlanWeights,
+    attach_plan,
+    publish_plan,
+)
+from repro.serve.workers import WorkerDied, WorkerPool, WorkerTaskError
 
 __all__ = [
+    "AttachedPlan",
     "BatchPolicy",
     "CachedPlan",
     "LoadReport",
     "MicroBatcher",
     "PlanCache",
     "PlanServer",
+    "PlanSpec",
     "Request",
     "ServerOverloaded",
+    "SharedPlanWeights",
+    "WorkerDied",
+    "WorkerPool",
+    "WorkerTaskError",
+    "attach_plan",
     "bucket_for",
+    "clamp_replicas",
     "plan_buckets",
     "predicted_batch_ms",
+    "publish_plan",
     "run_load",
     "serial_baseline",
     "suggest_batch_policy",

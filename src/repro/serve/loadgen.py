@@ -119,9 +119,10 @@ def run_load(
     if duration_s <= 0:
         raise ValueError(f"duration_s must be > 0, got {duration_s}")
     shape = server.plan.input_shape
-    # Cache acquires == executed batches (each worker batch checks out
-    # exactly one replica), so the delta gives the mean effective batch.
-    batches_before = server.cache.stats()["hits"] + server.cache.stats()["misses"]
+    # Executed-batch delta gives the mean effective batch size; the
+    # server counts batches directly in both worker modes (the plan
+    # cache only sees thread-mode checkouts).
+    batches_before = server.batches_executed
 
     def client(idx: int) -> tuple[list[float], int, int]:
         rng = np.random.default_rng(seed + idx)
@@ -174,8 +175,7 @@ def run_load(
     rejected = sum(r for _, r, _ in outcomes)
     errors = sum(e for _, _, e in outcomes)
     served = len(latencies)
-    stats = server.cache.stats()
-    batches = stats["hits"] + stats["misses"] - batches_before
+    batches = server.batches_executed - batches_before
     latencies_ms = [1e3 * v for v in latencies]
     return LoadReport(
         duration_s=elapsed,

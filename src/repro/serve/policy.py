@@ -12,20 +12,32 @@ size consistent with the same device model the search optimized against.
 
 from __future__ import annotations
 
+import logging
+
 from dataclasses import dataclass, replace
+
+import repro.obs as obs
 
 from repro.graph.ir import Graph
 from repro.latency.devices import DEVICE_PROFILES, DeviceProfile
 from repro.latency.predictors import batch_latency_ms
+from repro.parallel.executor import available_cpus
 
 __all__ = [
     "BatchPolicy",
     "bucket_for",
+    "clamp_replicas",
     "plan_buckets",
     "predicted_batch_ms",
     "suggest_batch_policy",
     "suggest_max_batch_size",
 ]
+
+_LOG = logging.getLogger(__name__)
+
+#: Incremented whenever a replica request is clamped to the core count
+#: (oversubscription would only add context switching, never throughput).
+_CLAMPED = obs.counter("repro_serve_replicas_clamped_total")
 
 #: Hard cap on the batch dimension a policy will ever suggest; beyond
 #: this the im2col column matrices outgrow every profiled cache anyway.
@@ -50,15 +62,29 @@ class BatchPolicy:
         requests are already queued, shedding load instead of growing
         an unbounded queue.
     replicas:
-        Plan replicas (worker threads) executing batches concurrently.
+        Plan replicas (worker threads or processes) executing batches
+        concurrently.  :class:`~repro.serve.PlanServer` clamps this to
+        the usable core count at startup (see :func:`clamp_replicas`).
+    worker_mode:
+        ``"thread"`` (default) runs replicas as threads sharing weight
+        arrays by reference; ``"process"`` runs them as worker
+        processes over shared-memory weight arenas
+        (:mod:`repro.serve.workers`), escaping the GIL on multi-core
+        machines.  Results are bitwise-identical between the two modes
+        for the same ``(image, bucket)`` inputs.
     """
 
     max_batch_size: int = 8
     max_queue_delay_ms: float = 2.0
     max_queue_depth: int = 128
     replicas: int = 1
+    worker_mode: str = "thread"
 
     def __post_init__(self) -> None:
+        if self.worker_mode not in ("thread", "process"):
+            raise ValueError(
+                f"worker_mode must be 'thread' or 'process', got {self.worker_mode!r}"
+            )
         if self.max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
         if self.max_queue_delay_ms < 0:
@@ -77,6 +103,31 @@ class BatchPolicy:
     def with_overrides(self, **kw) -> "BatchPolicy":
         """A copy with the given fields replaced (validation re-runs)."""
         return replace(self, **kw)
+
+
+def clamp_replicas(replicas: int, cpus: int | None = None) -> int:
+    """Clamp a replica request to the usable core count, warning loudly.
+
+    More plan replicas than cores never adds throughput — thread
+    replicas time-slice one GIL and process workers time-slice the
+    cores — so oversubscription is clamped rather than honored.  The
+    clamp is observable: a ``repro_serve_replicas_clamped_total``
+    counter tick plus a log warning, never silent.
+
+    ``cpus`` overrides the detected :func:`repro.parallel.available_cpus`
+    (deterministic tests; capacity planning for a different box).
+    """
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas}")
+    limit = available_cpus() if cpus is None else max(1, int(cpus))
+    if replicas <= limit:
+        return replicas
+    _CLAMPED.inc()
+    _LOG.warning(
+        "replicas=%d oversubscribes the %d usable core(s); clamping to %d",
+        replicas, limit, limit,
+    )
+    return limit
 
 
 def bucket_for(n: int, max_batch_size: int) -> int:
@@ -155,8 +206,10 @@ def suggest_batch_policy(
     graph: Graph,
     target_p99_ms: float,
     profiles: dict[str, DeviceProfile] | None = None,
-    replicas: int = 1,
+    replicas: int | None = 1,
     cap: int = MAX_BATCH_CAP,
+    cpus: int | None = None,
+    worker_mode: str | None = None,
 ) -> BatchPolicy:
     """Seed a :class:`BatchPolicy` from the device latency predictors.
 
@@ -168,8 +221,21 @@ def suggest_batch_policy(
       target even when the batch fills slowly;
     - ``max_queue_depth`` — four full batches per replica, enough to
       keep workers fed through arrival jitter without letting queue
-      wait dominate the p99.
+      wait dominate the p99;
+    - ``replicas`` — clamped to the usable core count
+      (:func:`clamp_replicas`); pass ``None`` to take one replica per
+      usable core;
+    - ``worker_mode`` — defaulted core-count-aware: ``"process"`` when
+      more than one replica runs (the GIL would serialize thread
+      replicas), ``"thread"`` for a single replica where process
+      staging buys nothing.  ``cpus`` overrides detection for
+      deterministic tests.
     """
+    cores = available_cpus() if cpus is None else max(1, int(cpus))
+    replicas = cores if replicas is None else replicas
+    replicas = clamp_replicas(replicas, cpus=cores)
+    if worker_mode is None:
+        worker_mode = "process" if replicas > 1 else "thread"
     max_batch = suggest_max_batch_size(graph, target_p99_ms, profiles, cap=cap)
     headroom = target_p99_ms - predicted_batch_ms(graph, max_batch, profiles)
     delay = min(max(headroom / 2.0, 0.25), target_p99_ms / 2.0)
@@ -179,4 +245,5 @@ def suggest_batch_policy(
         max_queue_delay_ms=delay,
         max_queue_depth=depth,
         replicas=replicas,
+        worker_mode=worker_mode,
     )

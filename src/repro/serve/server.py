@@ -32,7 +32,8 @@ import repro.obs as obs
 from repro.deploy.plan import InferencePlan
 from repro.serve.batcher import MicroBatcher, Request
 from repro.serve.cache import PlanCache
-from repro.serve.policy import BatchPolicy
+from repro.serve.policy import BatchPolicy, clamp_replicas
+from repro.serve.workers import WorkerPool
 
 __all__ = ["PlanServer"]
 
@@ -60,6 +61,19 @@ class PlanServer:
         Pre-build and pre-run one replica per (worker, bucket) so the
         steady state performs zero arena allocations from the first
         request (the default; disable for tests that count misses).
+        In process mode workers always warm their own arenas; the
+        parent-side cache stays cold unless the pool degrades.
+    cpus:
+        Usable core count override for replica clamping (defaults to
+        :func:`repro.parallel.available_cpus`; see
+        :func:`~repro.serve.clamp_replicas`).
+
+    ``policy.worker_mode="process"`` swaps the execution backend: the
+    same dispatcher threads pull batches, but each batch ships to a
+    :class:`~repro.serve.WorkerPool` worker process over shared-memory
+    staging rings, with the weight table published once into a
+    shared-memory segment (:mod:`repro.serve.shm`).  Results are
+    bitwise-identical to thread mode for the same (image, bucket).
 
     Use as a context manager, or call :meth:`close` — shutdown drains
     queued requests before workers exit.
@@ -70,8 +84,16 @@ class PlanServer:
         plan: InferencePlan,
         policy: BatchPolicy | None = None,
         warm: bool = True,
+        cpus: int | None = None,
     ) -> None:
-        self.policy = policy or BatchPolicy()
+        policy = policy or BatchPolicy()
+        # Oversubscription never adds throughput; clamp (with an obs
+        # warning) rather than silently time-slicing cores.  ``cpus``
+        # overrides detection for deterministic tests.
+        effective = clamp_replicas(policy.replicas, cpus=cpus)
+        if effective != policy.replicas:
+            policy = policy.with_overrides(replicas=effective)
+        self.policy = policy
         self.plan = plan
         self.batcher = MicroBatcher(
             max_batch_size=self.policy.max_batch_size,
@@ -83,7 +105,20 @@ class PlanServer:
         self._input_shape = plan.input_shape
         self._closed = False
         self._close_lock = threading.Lock()
-        if warm:
+        self._batches_executed = 0
+        self._count_lock = threading.Lock()
+        # Process mode: start workers (which fork) BEFORE any dispatcher
+        # threads exist, each attaching the shared weight segment and
+        # warming its own arenas; the local cache stays cold — it only
+        # fills if the pool ever degrades to in-process execution.
+        self.pool: WorkerPool | None = None
+        if self.policy.worker_mode == "process":
+            self.pool = WorkerPool(
+                plan,
+                workers=self.policy.replicas,
+                max_batch_size=self.policy.max_batch_size,
+            )
+        elif warm:
             self.cache.warm(self.fingerprint, replicas=self.policy.replicas)
         self._workers = [
             threading.Thread(
@@ -128,17 +163,28 @@ class PlanServer:
     def _execute(self, batch: list[Request]) -> None:
         n = len(batch)
         started = time.monotonic()
-        bucket = self.cache.bucket_for(n)
-        entry = self.cache.acquire(self.fingerprint, bucket)
-        try:
-            out = entry.run_padded([r.x for r in batch])
-        except BaseException as exc:  # route the failure, don't kill the worker
+        images = [r.x for r in batch]
+        if self.pool is not None:
+            try:
+                out = self.pool.run_batch(images)
+            except BaseException as exc:  # route the failure, don't kill the worker
+                for r in batch:
+                    r.future.set_exception(exc)
+                return
+        else:
+            bucket = self.cache.bucket_for(n)
+            entry = self.cache.acquire(self.fingerprint, bucket)
+            try:
+                out = entry.run_padded(images)
+            except BaseException as exc:  # route the failure, don't kill the worker
+                self.cache.release(entry)
+                for r in batch:
+                    r.future.set_exception(exc)
+                return
             self.cache.release(entry)
-            for r in batch:
-                r.future.set_exception(exc)
-            return
-        self.cache.release(entry)
         done = time.monotonic()
+        with self._count_lock:
+            self._batches_executed += 1
         _BATCHES.inc()
         _SERVED.inc(n)
         _BATCH_SIZE.observe(n)
@@ -160,6 +206,9 @@ class PlanServer:
         self.batcher.close()
         for t in self._workers:
             t.join(timeout=timeout)
+        # Dispatchers are drained; no batch is in flight on the pool.
+        if self.pool is not None:
+            self.pool.close(timeout=timeout)
 
     def __enter__(self) -> "PlanServer":
         return self
@@ -171,14 +220,26 @@ class PlanServer:
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def batches_executed(self) -> int:
+        """Batches completed so far (thread and process mode alike)."""
+        with self._count_lock:
+            return self._batches_executed
+
     def stats(self) -> dict[str, int]:
-        """Counters for reports: submitted/rejected plus cache stats."""
-        return {
+        """Counters for reports: submitted/rejected plus cache/pool stats."""
+        out = {
             "submitted": self.batcher.submitted,
             "rejected": self.batcher.rejected,
+            "batches_executed": self.batches_executed,
+            "worker_mode": self.policy.worker_mode,
             **self.cache.stats(),
         }
+        if self.pool is not None:
+            out.update(self.pool.stats())
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"PlanServer(model={self.plan.name!r}, replicas={self.policy.replicas}, "
+                f"mode={self.policy.worker_mode!r}, "
                 f"max_batch={self.policy.max_batch_size}, closed={self._closed})")

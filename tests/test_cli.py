@@ -134,6 +134,34 @@ class TestCommands:
         for row in decisions["table"].values():
             assert row["chosen"] in row["timings_us"]
 
+    def test_serve_bench_process_mode_json(self, tmp_path, capsys):
+        out = tmp_path / "serving_mp.json"
+        code = main([
+            "serve-bench", "--size", "24", "--duration", "0.4", "--clients", "8",
+            "--max-batch", "4", "--max-delay-ms", "2", "--queue-depth", "32",
+            "--worker-mode", "process", "--workers", "2",
+            "--json", str(out),
+            "--kernel-size", "3", "--padding", "1", "--pool-choice", "0",
+            "--initial-output-feature", "32",
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "mode process" in text and "pids" in text
+        import json
+        payload = json.loads(out.read_text())
+        assert payload["policy"]["worker_mode"] == "process"
+        assert payload["serving"]["served"] > 0
+        assert payload["counters"]["batches_executed"] > 0
+        assert payload["counters"]["worker_deaths"] == 0
+        extra = payload["extra_info"]
+        assert extra["worker_mode"] == "process"
+        assert extra["cpu_count"] >= 1
+        # Replicas were clamped to the cores actually available.
+        assert 1 <= extra["workers"] <= extra["cpu_count"]
+        assert extra["degraded"] is False
+        assert extra["shared_weight_bytes"] > 0
+        assert extra["worker_private_weight_bytes"] == 0
+
     def test_serve_bench_policy_seeding(self, capsys):
         code = main([
             "serve-bench", "--size", "24", "--duration", "0.3", "--clients", "4",

@@ -221,3 +221,64 @@ class TestDeprecatedShims:
         assert hasattr(result, "accuracy") and hasattr(result, "fold_accuracies")
         with pytest.raises(TypeError, match="resilient"):
             evaluator.evaluate(config, resilient=True)
+
+
+class TestProcessServingObs:
+    """PR 7: worker-process batch spans stitch into the parent trace.
+
+    The serving :class:`~repro.serve.WorkerPool` captures
+    :func:`repro.obs.propagated_context` at startup; every worker batch
+    runs under :func:`repro.obs.adopt_context`, so its
+    ``serve.worker.batch`` spans must land in the parent's JSONL with
+    the parent trace/span ids, and per-pid metric snapshots must carry
+    only the worker's own counts (fork-inherited counters are zeroed
+    before the first worker-side increment).
+    """
+
+    def test_worker_batch_spans_and_counters_stitch_across_pids(
+            self, clean_obs, tmp_path):
+        import numpy as np
+
+        from repro.deploy import load_runtime
+        from repro.nn import SearchableResNet18
+        from repro.onnxlite.export import export_model
+        from repro.serve import BatchPolicy, PlanServer
+
+        model = SearchableResNet18(in_channels=5, kernel_size=3, stride=2,
+                                   padding=1, pool_choice=0,
+                                   initial_output_feature=32, seed=3)
+        plan = load_runtime(export_model(model, input_hw=(24, 24))).compile()
+        log = tmp_path / "serve_obs.jsonl"
+        obs.configure(jsonl_path=log, reset_metrics=True)
+        images = np.random.default_rng(0).standard_normal(
+            (4, 5, 24, 24)).astype(np.float32)
+        policy = BatchPolicy(max_batch_size=2, max_queue_delay_ms=1.0,
+                             max_queue_depth=16, replicas=1,
+                             worker_mode="process")
+        try:
+            with obs.span("serve.session") as parent:
+                with PlanServer(plan, policy=policy, cpus=1) as server:
+                    rows = [server.infer(img) for img in images]
+            obs.flush()
+        finally:
+            obs.shutdown()
+        assert all(r.shape == (2,) for r in rows)
+
+        events = read_events(log)
+        spans = [e for e in events if e["type"] == "span"]
+        batches = [e for e in spans if e["name"] == "serve.worker.batch"]
+        assert batches, "no worker batch spans reached the parent's sink"
+        main_pid = os.getpid()
+        # Spans were recorded by the worker process, not the parent...
+        assert all(e["pid"] != main_pid for e in batches)
+        # ...yet stitch into the parent's trace under the session span.
+        assert all(e["trace"] == parent.trace_id for e in batches)
+        assert all(e["parent"] == parent.span_id for e in batches)
+
+        agg = aggregate_metrics(events)
+        counters = {c["name"]: c["value"] for c in agg["counters"]
+                    if not c.get("labels")}
+        # Exactly one count per batch span: the worker's fork-inherited
+        # registry was zeroed, so nothing from the parent double-counts.
+        assert counters.get("repro_serve_worker_batches_total") == len(batches)
+        assert counters.get("repro_serve_worker_deaths_total", 0) == 0

@@ -18,8 +18,17 @@ Covers the four contracts the serving tier rests on:
 4. **Performance invariants** — warm buckets mean zero new arena
    allocations in steady state (the mechanism behind the serving
    benchmark's zero-allocation assertion).
+5. **Process mode** — shared-memory weight publication/attachment is
+   zero-copy (``private_bytes == 0``), worker processes compute
+   bitwise-identically to thread replicas for the same (image, bucket),
+   dead workers respawn (and the pool degrades to in-process execution
+   after repeated deaths), and fork inherits neither warm cache entries
+   nor the template plan's run guard.
 """
 
+import os
+import pickle
+import signal
 import threading
 import time
 
@@ -27,7 +36,7 @@ import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.deploy import ConcurrentPlanError, load_runtime
+from repro.deploy import ConcurrentPlanError, load_runtime, plan_weight_arrays
 from repro.deploy.plan import Arena
 from repro.graph.trace import trace_model
 from repro.nn import SearchableResNet18
@@ -39,9 +48,13 @@ from repro.serve import (
     PlanCache,
     PlanServer,
     ServerOverloaded,
+    WorkerPool,
+    attach_plan,
     bucket_for,
+    clamp_replicas,
     plan_buckets,
     predicted_batch_ms,
+    publish_plan,
     run_load,
     serial_baseline,
     suggest_batch_policy,
@@ -182,12 +195,40 @@ class TestBatchPolicy:
 
     def test_suggest_batch_policy_respects_budget(self):
         graph = trace_model(_model(), input_hw=(HW, HW))
-        policy = suggest_batch_policy(graph, target_p99_ms=100.0, replicas=2)
+        # cpus injected: the 1-core CI box would otherwise clamp replicas.
+        policy = suggest_batch_policy(graph, target_p99_ms=100.0, replicas=2,
+                                      cpus=8)
         assert policy.replicas == 2
         assert policy.max_queue_depth >= policy.max_batch_size
         assert 0 < policy.max_queue_delay_ms <= 50.0
         with pytest.raises(ValueError):
             suggest_max_batch_size(graph, 0.0)
+
+    def test_clamp_replicas_caps_to_core_count(self):
+        assert clamp_replicas(2, cpus=8) == 2
+        assert clamp_replicas(16, cpus=4) == 4
+        assert clamp_replicas(3, cpus=3) == 3
+        assert clamp_replicas(1) == 1  # never clamped below one replica
+        with pytest.raises(ValueError):
+            clamp_replicas(0)
+
+    def test_suggest_batch_policy_core_aware_defaults(self):
+        graph = trace_model(_model(), input_hw=(HW, HW))
+        # Multi-replica defaults to process mode (threads share one GIL).
+        p = suggest_batch_policy(graph, 100.0, replicas=4, cpus=8)
+        assert p.worker_mode == "process" and p.replicas == 4
+        # Single replica stays in-thread (process staging buys nothing).
+        assert suggest_batch_policy(graph, 100.0, replicas=1,
+                                    cpus=8).worker_mode == "thread"
+        # replicas=None takes one per usable core; explicit mode wins.
+        pn = suggest_batch_policy(graph, 100.0, replicas=None, cpus=6,
+                                  worker_mode="thread")
+        assert pn.replicas == 6 and pn.worker_mode == "thread"
+        # Oversubscription is clamped, not honored.
+        assert suggest_batch_policy(graph, 100.0, replicas=9,
+                                    cpus=2).replicas == 2
+        with pytest.raises(ValueError):
+            BatchPolicy(worker_mode="fiber")
 
 
 # --------------------------------------------------------------------------
@@ -416,6 +457,209 @@ class TestPlanServer:
                               arrival_rate_ips=40.0, seed=2)
         # ~20 images in 0.5s at 40 ips; generous bounds for slow CI.
         assert 1 <= report.served <= 40
+
+
+# --------------------------------------------------------------------------
+# shared-memory weight arenas
+# --------------------------------------------------------------------------
+
+
+class TestSharedWeights:
+    def test_publish_attach_round_trip_is_zero_copy(self, plan):
+        shared = publish_plan(plan)
+        try:
+            attached = attach_plan(shared.spec, poison=True)
+            try:
+                x = _images(4, seed=21)
+                # Rebinding onto the segment views must not change a bit.
+                np.testing.assert_array_equal(attached.plan.run(x),
+                                              plan.replicate().run(x))
+                res = attached.residency
+                assert res["private_bytes"] == 0, \
+                    "rebind copied parameter bytes out of the segment"
+                assert res["shared_bytes"] > 0
+                assert res["arrays"] > 0
+                assert res["shared_bytes"] <= shared.nbytes
+            finally:
+                attached.close()
+        finally:
+            shared.close()
+
+    def test_spec_pickles_and_views_are_read_only(self, plan):
+        shared = publish_plan(plan)
+        try:
+            # The spec must survive the pipe to a spawn-started worker.
+            spec = pickle.loads(pickle.dumps(shared.spec))
+            assert spec.fingerprint == plan.fingerprint
+            attached = attach_plan(spec, poison=True)
+            try:
+                arrays = [arr for _, _, arr in
+                          plan_weight_arrays(attached.plan.blueprint.nodes)]
+                assert arrays
+                assert all(not arr.flags.writeable for arr in arrays), \
+                    "a writable view could corrupt every sibling worker"
+                with pytest.raises((ValueError, RuntimeError)):
+                    arrays[0][...] = 0.0
+            finally:
+                attached.close()
+        finally:
+            shared.close()
+
+    def test_close_is_idempotent_and_guards_buf(self, plan):
+        shared = publish_plan(plan)
+        shared.close()
+        shared.close()  # idempotent
+        with pytest.raises(ValueError):
+            shared.buf  # noqa: B018 - the access itself is the assertion
+
+
+# --------------------------------------------------------------------------
+# process worker pool: death, respawn, degrade
+# --------------------------------------------------------------------------
+
+
+def _kill_worker(pool: WorkerPool) -> int:
+    """SIGKILL the pool's (only) worker and wait until it is reaped."""
+    handle = pool._all[0]
+    victim = handle.pid
+    os.kill(victim, signal.SIGKILL)
+    handle.proc.join(timeout=10)
+    assert not handle.proc.is_alive()
+    return victim
+
+
+class TestWorkerPool:
+    def test_worker_death_respawns_and_requeues(self, plan):
+        with WorkerPool(plan, workers=1, max_batch_size=4, poison=True) as pool:
+            x = _images(3, seed=31)
+            ref = pool.run_batch(x)
+            assert ref.shape == (3, 2)
+            victim = _kill_worker(pool)
+            # The dead worker is discovered at checkout; the batch is
+            # requeued onto the respawned replacement transparently.
+            out = pool.run_batch(x)
+            np.testing.assert_array_equal(out, ref)
+            s = pool.stats()
+            assert s["worker_deaths"] == 1
+            assert s["worker_respawns"] == 1
+            assert not s["degraded"]
+            assert s["worker_pids"] and s["worker_pids"][0] != victim
+
+    def test_repeated_deaths_degrade_to_in_process(self, plan):
+        with WorkerPool(plan, workers=1, max_batch_size=4, max_deaths=0,
+                        poison=True) as pool:
+            x = _images(2, seed=32)
+            ref = pool.run_batch(x)  # process path, bucket 2
+            _kill_worker(pool)
+            out = pool.run_batch(x)  # death exceeds budget -> degraded path
+            s = pool.stats()
+            assert s["degraded"] and pool.degraded
+            assert s["worker_deaths"] == 1
+            assert s["worker_respawns"] == 0
+            # Degraded (in-process PlanCache) execution honors the same
+            # per-(image, bucket) identity contract as the workers.
+            np.testing.assert_array_equal(out, ref)
+            # Serving keeps answering in degraded mode.
+            np.testing.assert_array_equal(pool.run_batch(x), ref)
+
+    def test_pool_validates_worker_count(self, plan):
+        with pytest.raises(ValueError):
+            WorkerPool(plan, workers=0, max_batch_size=4)
+
+
+# --------------------------------------------------------------------------
+# process-mode server: cross-mode identity + routing
+# --------------------------------------------------------------------------
+
+
+class TestProcessServer:
+    def test_process_mode_bitwise_matches_thread_mode(self, plan):
+        """Same (image, bucket) => identical bits across worker modes."""
+        kw = dict(max_batch_size=4, max_queue_delay_ms=2.0, max_queue_depth=64,
+                  replicas=1)
+        images = _images(8, seed=41)
+        # Serial infer keeps every batch at bucket 1 in both modes.
+        with PlanServer(plan, policy=BatchPolicy(**kw), cpus=4) as server:
+            thread_rows = np.stack([server.infer(img) for img in images])
+        policy = BatchPolicy(**kw, worker_mode="process")
+        with PlanServer(plan, policy=policy, cpus=4) as server:
+            proc_rows = np.stack([server.infer(img) for img in images])
+            stats = server.stats()
+        np.testing.assert_array_equal(proc_rows, thread_rows)
+        assert stats["worker_mode"] == "process"
+        assert stats["batches_executed"] >= len(images)
+        assert stats["shared_weight_bytes"] > 0
+        assert stats["worker_private_weight_bytes"] == 0
+        assert stats["worker_deaths"] == 0 and not stats["degraded"]
+
+    def test_process_mode_results_routed_exactly(self, runtime, plan):
+        policy = BatchPolicy(max_batch_size=4, max_queue_delay_ms=2.0,
+                             max_queue_depth=256, replicas=2,
+                             worker_mode="process")
+        images = _images(24, seed=42)
+        refs = runtime.run(images)
+        with PlanServer(plan, policy=policy, cpus=2) as server:
+            with make_executor("thread", workers=8) as pool:
+                outs = pool.map(lambda i: server.infer(images[i]),
+                                list(range(24)))
+        outs = np.stack(outs)
+        assert np.isfinite(outs).all()
+        np.testing.assert_allclose(outs, refs, rtol=RTOL, atol=ATOL)
+        d = np.abs(outs[:, None, :] - refs[None, :, :]).sum(axis=2)
+        assert (d.argmin(axis=1) == np.arange(24)).all()
+
+    def test_server_clamps_oversubscribed_replicas(self, plan):
+        policy = BatchPolicy(max_batch_size=2, max_queue_depth=64, replicas=64)
+        with PlanServer(plan, policy=policy, cpus=2, warm=False) as server:
+            assert server.policy.replicas == 2  # clamped before any threads
+
+
+# --------------------------------------------------------------------------
+# fork safety
+# --------------------------------------------------------------------------
+
+
+class TestForkSafety:
+    def test_workers_inherit_no_warm_cache_entries(self, plan):
+        """Workers warm their *own* arenas; the parent cache stays cold.
+
+        A busy parent (warm PlanCache) must not leak pooled entries or
+        hit/miss counts across the fork: the process-mode server never
+        touches its local cache unless the pool degrades.
+        """
+        parent_cache = PlanCache(max_batch_size=4)
+        parent_cache.warm(parent_cache.register(plan))
+        assert parent_cache.stats()["pooled_entries"] > 0
+        policy = BatchPolicy(max_batch_size=4, max_queue_delay_ms=1.0,
+                             max_queue_depth=16, replicas=1,
+                             worker_mode="process")
+        with PlanServer(plan, policy=policy, cpus=1) as server:
+            assert server.infer(_images(1, seed=51)[0]).shape == (2,)
+            stats = server.stats()
+        assert stats["pooled_entries"] == 0
+        assert stats["hits"] == 0 and stats["misses"] == 0
+        # ...while each worker did warm its own arenas before serving.
+        assert stats["worker_private_weight_bytes"] == 0
+
+    def test_worker_warms_own_arenas_before_ready(self, plan):
+        with WorkerPool(plan, workers=1, max_batch_size=4, poison=True) as pool:
+            report = pool._all[0].report
+            assert report["warm_allocations"] > 0
+            assert report["private_bytes"] == 0
+
+    def test_run_guard_is_per_process(self, plan):
+        """The template plan's run guard must not gate worker processes."""
+        with WorkerPool(plan, workers=1, max_batch_size=4, poison=True) as pool:
+            x = _images(2, seed=52)
+            ref = pool.run_batch(x)
+            assert plan._run_guard.acquire(blocking=False)
+            try:
+                # Worker replicas rebind with fresh guards: holding the
+                # parent's lock cannot deadlock or poison their runs.
+                out = pool.run_batch(x)
+            finally:
+                plan._run_guard.release()
+            np.testing.assert_array_equal(out, ref)
 
 
 # --------------------------------------------------------------------------
