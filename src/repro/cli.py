@@ -87,24 +87,49 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.nas import Experiment, FailureInjector, GridSearch, SurrogateEvaluator, TrialStore
     from repro.nas.searchspace import DEFAULT_SPACE
 
+    if args.resume and not (args.shards or args.nodes):
+        print("--resume requires the distributed path; add --shards/--nodes")
+        return 2
     if args.obs_log:
         obs.configure(jsonl_path=args.obs_log, reset_metrics=True)
-    store = TrialStore(args.out)
     injector = FailureInjector.paper_mode(seed=args.seed) if args.paper_mode else FailureInjector.none()
-    experiment = Experiment(
-        evaluator=SurrogateEvaluator(seed=args.seed),
-        strategy=GridSearch(DEFAULT_SPACE),
-        store=store,
-        failure_injector=injector,
-    )
     budget = args.budget or DEFAULT_SPACE.total_configurations()
     try:
-        result = experiment.run(budget=budget)
+        if args.shards or args.nodes:
+            # Distributed path: --out is a *directory* of shard files.
+            from repro.nas.fabric import run_fabric_sweep
+
+            result = run_fabric_sweep(
+                SurrogateEvaluator(seed=args.seed),
+                GridSearch(DEFAULT_SPACE),
+                root=args.out,
+                budget=budget,
+                n_shards=max(args.shards, 1),
+                n_nodes=max(args.nodes, 1),
+                resume=args.resume,
+                failure_injector=injector,
+                batch_size=args.batch_size,
+                lease_ttl_s=args.lease_ttl,
+            )
+            print(f"launched={result.launched} valid={result.succeeded} "
+                  f"failed={result.failed} skipped={result.skipped}")
+            print(f"claims={result.claims} reclaims={result.reclaims} "
+                  f"steals={result.steals} poisoned={result.poisoned}")
+            print(f"shards written to {args.out}/")
+        else:
+            store = TrialStore(args.out)
+            experiment = Experiment(
+                evaluator=SurrogateEvaluator(seed=args.seed),
+                strategy=GridSearch(DEFAULT_SPACE),
+                store=store,
+                failure_injector=injector,
+            )
+            result = experiment.run(budget=budget)
+            print(f"launched={result.launched} valid={result.succeeded} failed={result.failed}")
+            print(f"trials written to {args.out}")
     finally:
         if args.obs_log:
             obs.shutdown()
-    print(f"launched={result.launched} valid={result.succeeded} failed={result.failed}")
-    print(f"trials written to {args.out}")
     if args.obs_log:
         print(f"observability log written to {args.obs_log} "
               f"(render with: repro-nas obs report {args.obs_log})")
@@ -487,6 +512,17 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=0)
     sweep.add_argument("--paper-mode", action="store_true", help="inject the 11 paper failures")
     sweep.add_argument("--obs-log", default="", help="also write an observability JSONL log here")
+    sweep.add_argument("--shards", type=int, default=0,
+                       help="distributed: shard the store N ways (--out becomes a directory)")
+    sweep.add_argument("--nodes", type=int, default=0,
+                       help="distributed: run N worker nodes over the lease table")
+    sweep.add_argument("--resume", action="store_true",
+                       help="distributed: load the sharded store, verify its manifest, "
+                            "skip completed trials")
+    sweep.add_argument("--batch-size", type=int, default=1,
+                       help="distributed: trials per lease claim")
+    sweep.add_argument("--lease-ttl", type=float, default=30.0,
+                       help="distributed: seconds without a heartbeat before a lease is reclaimed")
 
     pareto = sub.add_parser("pareto", help="Pareto front of a trial JSONL (Table 4)")
     pareto.add_argument("trials", help="path to a sweep JSONL file")

@@ -19,6 +19,10 @@ from repro.faults.harness import (
     InjectedPermanentError,
     InjectedTransientError,
     KillSwitch,
+    NodeFault,
+    NodeFaultKind,
+    NodeFaultPlan,
+    corrupt_shard_tail,
     corrupt_store_tail,
     interrupt_after,
 )
@@ -31,6 +35,10 @@ __all__ = [
     "InjectedPermanentError",
     "InjectedTransientError",
     "KillSwitch",
+    "NodeFault",
+    "NodeFaultKind",
+    "NodeFaultPlan",
+    "corrupt_shard_tail",
     "corrupt_store_tail",
     "interrupt_after",
 ]

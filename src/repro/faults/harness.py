@@ -37,6 +37,7 @@ from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.nas.failures import FailureInjector
 from repro.nas.retry import (
+    NodeKilledError,
     PermanentTrialError,
     TransientTrialError,
     current_deadline,
@@ -56,6 +57,10 @@ __all__ = [
     "InjectedTransientError",
     "InjectedPermanentError",
     "KillSwitch",
+    "NodeFault",
+    "NodeFaultKind",
+    "NodeFaultPlan",
+    "corrupt_shard_tail",
     "corrupt_store_tail",
     "interrupt_after",
 ]
@@ -373,6 +378,137 @@ class FaultyEvaluator:
 
 
 # ---------------------------------------------------------------------------
+# Node-level faults (the distributed sweep fabric)
+# ---------------------------------------------------------------------------
+
+
+class NodeFaultKind(str, enum.Enum):
+    """What kind of node-level fault a schedule entry injects."""
+
+    NODE_KILL = "node_kill"  # the node dies mid-lease (stops heartbeating)
+    HEARTBEAT_LOSS = "heartbeat_loss"  # node keeps working, heartbeats vanish
+    SHARD_CORRUPT = "shard_corrupt"  # marker: corrupt a shard tail between legs
+
+
+@dataclass(frozen=True)
+class NodeFault:
+    """One scheduled node-level fault.
+
+    ``after_trials`` arms the fault once the node has completed that many
+    trials.  For :attr:`~NodeFaultKind.HEARTBEAT_LOSS`,
+    ``duration_trials`` is how many subsequent trials run silent and
+    ``stall_s`` delays each silent trial's result submission — long
+    enough relative to the lease TTL, the coordinator reclaims the lease
+    while the work is genuinely still in flight (the duplicate-commit
+    scenario the fabric must deduplicate).
+    """
+
+    kind: NodeFaultKind
+    node_id: str = ""
+    after_trials: int = 0
+    duration_trials: int = 1
+    stall_s: float = 0.0
+    note: str = ""
+
+
+class NodeFaultPlan:
+    """A deterministic schedule of node deaths and heartbeat losses.
+
+    Plugs into :class:`~repro.nas.fabric.WorkerNode` (``fault_plan=``).
+    Node kills raise :class:`~repro.nas.retry.NodeKilledError` from
+    :meth:`before_trial` — fatal to the node thread, which unwinds
+    without releasing its lease, exactly like a machine that dropped off
+    the network; the coordinator's reclaim loop re-leases the work.
+
+    Each fault fires **once**, latched either in memory or — with a
+    ``latch_dir`` — through crash-safe :class:`KillSwitch` files that
+    survive a resume, so the second leg of a chaos round-trip is not
+    re-killed.
+
+    :attr:`~NodeFaultKind.SHARD_CORRUPT` entries are inert here (there
+    is no safe moment to corrupt a live shard from inside the sweep);
+    apply them between legs with :func:`corrupt_shard_tail`.
+    """
+
+    def __init__(
+        self,
+        faults: Iterable[NodeFault] = (),
+        latch_dir: str | Path | None = None,
+    ) -> None:
+        self.faults = list(faults)
+        self.latch_dir = Path(latch_dir) if latch_dir is not None else None
+        self._fired: set[str] = set()
+        #: node_id -> {fault index: suppress heartbeats through this trial count}
+        self._loss_until: dict[str, dict[int, int]] = {}
+        #: How many times each fault kind actually fired.
+        self.counters: dict[str, int] = {kind.value: 0 for kind in NodeFaultKind}
+
+    def _latch(self, key: str) -> bool:
+        """Once-only trigger; crash-safe when ``latch_dir`` is set."""
+        if self.latch_dir is not None:
+            return KillSwitch(self.latch_dir / f"{key}.latch").acquire()
+        if key in self._fired:
+            return False
+        self._fired.add(key)
+        return True
+
+    def faults_for(self, node_id: str) -> list[NodeFault]:
+        """Scheduled faults of one node (possibly empty)."""
+        return [f for f in self.faults if f.node_id == node_id]
+
+    def before_trial(self, node_id: str, trials_run: int) -> None:
+        """Fire armed faults for a node about to start its next trial.
+
+        Raises :class:`~repro.nas.retry.NodeKilledError` for an armed
+        :attr:`~NodeFaultKind.NODE_KILL`; arms heartbeat-loss windows.
+        """
+        for idx, fault in enumerate(self.faults):
+            if fault.node_id != node_id or trials_run < fault.after_trials:
+                continue
+            if fault.kind is NodeFaultKind.NODE_KILL:
+                if self._latch(f"node-kill-{node_id}-{idx}"):
+                    self.counters[NodeFaultKind.NODE_KILL.value] += 1
+                    raise NodeKilledError(
+                        f"injected node kill on {node_id!r} after {trials_run} trial(s)"
+                    )
+            elif fault.kind is NodeFaultKind.HEARTBEAT_LOSS:
+                if self._latch(f"heartbeat-loss-{node_id}-{idx}"):
+                    self.counters[NodeFaultKind.HEARTBEAT_LOSS.value] += 1
+                    self._loss_until.setdefault(node_id, {})[idx] = (
+                        trials_run + fault.duration_trials
+                    )
+
+    def heartbeat_suppressed(self, node_id: str, trials_run: int) -> bool:
+        """Whether this node's heartbeats are currently swallowed."""
+        return any(
+            trials_run <= until
+            for until in self._loss_until.get(node_id, {}).values()
+        )
+
+    def stall_s(self, node_id: str, trials_run: int) -> float:
+        """Submission delay for a node inside a heartbeat-loss window."""
+        return max(
+            (
+                self.faults[idx].stall_s
+                for idx, until in self._loss_until.get(node_id, {}).items()
+                if trials_run <= until
+            ),
+            default=0.0,
+        )
+
+    def describe(self) -> str:
+        """One-line schedule summary for logs."""
+        by_kind: dict[str, int] = {}
+        for fault in self.faults:
+            by_kind[fault.kind.value] = by_kind.get(fault.kind.value, 0) + 1
+        parts = [f"{k}={n}" for k, n in sorted(by_kind.items())]
+        return "NodeFaultPlan(" + (", ".join(parts) or "none") + ")"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.describe()
+
+
+# ---------------------------------------------------------------------------
 # Store corruption
 # ---------------------------------------------------------------------------
 
@@ -425,6 +561,39 @@ def corrupt_store_tail(
                          "use 'truncate', 'garbage' or 'partial-append'")
     path.write_bytes(body)
     return {"mode": mode, "line": len(lines), "removed_bytes": int(removed)}
+
+
+def corrupt_shard_tail(
+    root: str | Path,
+    mode: str = "truncate",
+    seed: int = 0,
+    shard: int | str | None = None,
+) -> dict[str, object]:
+    """Corrupt one shard tail of a sharded trial store directory.
+
+    ``shard`` selects the victim: a file name, an index into the sorted
+    non-empty shard list, or ``None`` for a seeded deterministic pick.
+    Delegates the actual damage to :func:`corrupt_store_tail`; the
+    returned dict additionally carries the victim's ``shard`` file name,
+    so a chaos test can later assert that exactly this shard was
+    quarantined by :meth:`~repro.nas.fabric.ShardedTrialStore.load`.
+    """
+    root = Path(root)
+    shards = sorted(
+        p for p in root.glob("shard-*-of-*.jsonl") if p.stat().st_size > 0
+    )
+    if not shards:
+        raise ValueError(f"no non-empty shard files under {root}")
+    if shard is None:
+        rng = rng_from_seed(stable_hash("corrupt-shard", seed, len(shards)))
+        path = shards[int(rng.integers(0, len(shards)))]
+    elif isinstance(shard, str):
+        path = root / shard
+    else:
+        path = shards[shard]
+    info = corrupt_store_tail(path, mode=mode, seed=seed)
+    info["shard"] = path.name
+    return info
 
 
 def interrupt_after(

@@ -19,7 +19,10 @@ This subpackage reproduces that machinery:
   policy and cooperative per-trial deadlines;
 - :mod:`~repro.nas.storage` — JSONL-backed trial database with
   crash-safe reload (tail quarantine) and a resume-verified run
-  manifest.
+  manifest;
+- :mod:`~repro.nas.fabric` — the distributed sweep fabric: hash-sharded
+  stores, lease-based work stealing across worker nodes, and
+  chaos-certified resume (bitwise-equal to a serial run).
 
 The deterministic chaos harness that exercises this stack lives in
 :mod:`repro.faults`.
@@ -43,15 +46,26 @@ from repro.nas.experiment import Experiment, ExperimentResult
 from repro.nas.retry import (
     Deadline,
     ErrorKind,
+    Heartbeat,
+    NodeKilledError,
     PermanentTrialError,
     RetryPolicy,
     TransientTrialError,
     TrialDeadlineExceeded,
+    WorkerLostError,
     classify_error,
 )
 from repro.nas.storage import ResumeMismatchError, RunManifest, StoreCorruptionError, TrialStore
 from repro.nas.failures import FailureInjector
 from repro.nas.crossval import cross_validate_model, TrainSettings
+from repro.nas.fabric import (
+    FabricResult,
+    FabricSweep,
+    LeaseTable,
+    ShardedTrialStore,
+    WorkerNode,
+    run_fabric_sweep,
+)
 
 __all__ = [
     "ModelConfig",
@@ -89,10 +103,19 @@ __all__ = [
     "RetryPolicy",
     "ErrorKind",
     "Deadline",
+    "Heartbeat",
     "TransientTrialError",
+    "WorkerLostError",
+    "NodeKilledError",
     "PermanentTrialError",
     "TrialDeadlineExceeded",
     "classify_error",
     "cross_validate_model",
     "TrainSettings",
+    "FabricResult",
+    "FabricSweep",
+    "LeaseTable",
+    "ShardedTrialStore",
+    "WorkerNode",
+    "run_fabric_sweep",
 ]

@@ -300,6 +300,44 @@ class Experiment:
             skipped_devices=metrics.skipped_devices,
         )
 
+    def propose_trials(self, budget: int) -> list[tuple[int, "ModelConfig"]]:
+        """The ``(trial_id, config)`` work list for a ``budget``-trial sweep.
+
+        Factored out of :meth:`run` so distributed drivers
+        (:mod:`repro.nas.fabric`) can enumerate the exact same trials
+        the serial loop would execute — trial ids are the proposal
+        order, which is deterministic for a given strategy.
+        """
+        if budget < 1:
+            raise ValueError(f"budget must be >= 1, got {budget}")
+        return list(enumerate(self.strategy.propose(budget)))
+
+    def with_evaluator(self, evaluator: AccuracyEvaluator) -> "Experiment":
+        """A sibling experiment differing only in its accuracy evaluator.
+
+        Used by fabric worker nodes to wrap the shared evaluator (e.g.
+        routing it through the node's process pool) while keeping every
+        other knob — jitter, profiles, retry policy — identical, so the
+        produced records stay bitwise-equal to the serial runner's.  The
+        architecture-metrics cache is *shared* with the parent: latency
+        and memory are accuracy-independent, so all nodes may reuse one
+        measurement per unique architecture.
+        """
+        sibling = Experiment(
+            evaluator=evaluator,
+            strategy=self.strategy,
+            store=TrialStore(),
+            failure_injector=self.failure_injector,
+            input_hw=self.input_hw,
+            profiles=self.profiles,
+            latency_jitter=self.latency_jitter,
+            jitter_seed=self.jitter_seed,
+            skip_existing=False,
+            retry_policy=self.retry_policy,
+        )
+        sibling._arch_cache = self._arch_cache
+        return sibling
+
     def run_manifest(self) -> RunManifest:
         """The identity manifest of this experiment's sweep.
 

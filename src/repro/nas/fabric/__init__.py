@@ -1,0 +1,51 @@
+"""The distributed sweep fabric: sharded storage + lease-based workers.
+
+Scales one NAS sweep across worker "nodes" (threads, each optionally
+owning a private process pool) while keeping the results bitwise-equal
+to a serial run — the property the chaos certification in
+``tests/test_fabric.py`` proves under node kills, heartbeat loss,
+SIGKILLed pool workers, corrupted shard tails and a Ctrl-C resume.
+
+Three layers:
+
+- :mod:`~repro.nas.fabric.store` — :class:`ShardedTrialStore`: N
+  crash-safe JSONL shards, pure fingerprint routing, a deterministic
+  merged view independent of shard count, background tail compaction.
+- :mod:`~repro.nas.fabric.lease` — :class:`LeaseTable`: monotonic-clock
+  work leases with heartbeats, deadline reclaim, work stealing
+  (:func:`repro.parallel.pick_steal_victim`) and poison-trial
+  quarantine, classified through the :mod:`repro.nas.retry` taxonomy.
+- :mod:`~repro.nas.fabric.coordinator` — :class:`FabricSweep`: the
+  claim/run/submit/heartbeat node loop, single-writer exactly-once
+  commits, elastic membership and the self-execute fallback.
+"""
+
+from repro.nas.fabric.coordinator import (
+    FabricResult,
+    FabricSweep,
+    NodeEvaluator,
+    WorkerNode,
+    run_fabric_sweep,
+)
+from repro.nas.fabric.lease import Lease, LeaseTable, TrialTask
+from repro.nas.fabric.store import (
+    ShardedTrialStore,
+    record_fingerprint,
+    shard_filename,
+    shard_index,
+)
+
+__all__ = [
+    "FabricResult",
+    "FabricSweep",
+    "Lease",
+    "LeaseTable",
+    "NodeEvaluator",
+    "ShardedTrialStore",
+    "TrialTask",
+    "WorkerNode",
+    "record_fingerprint",
+    "run_fabric_sweep",
+    "shard_filename",
+    "shard_index",
+]

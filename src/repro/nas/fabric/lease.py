@@ -1,0 +1,373 @@
+"""Lease-based work claims with deadline reclaim and work stealing.
+
+The coordinator's source of truth for *who is running what*.  Work is
+handed out as **leases**: a worker claims a batch of trials together
+with a monotonic-clock deadline; liveness is proven by heartbeats that
+push the deadline forward.  A worker that dies (or loses its network,
+or stalls past the TTL) simply stops heartbeating — its lease expires
+and the **reclaim loop** returns the unfinished trials to the pending
+queues for another worker to pick up.
+
+Failure handling rides the :mod:`repro.nas.retry` taxonomy:
+
+- a missed heartbeat is a :class:`~repro.nas.retry.WorkerLostError` —
+  *transient* by classification, so the trials are re-leased;
+- a trial that keeps losing its workers (``lease_count`` reaching
+  ``max_leases``) is presumed **poison** — it is quarantined out of the
+  queues (and recorded as a failed trial by the coordinator) instead of
+  killing workers forever;
+- fatal/permanent release reasons poison the batch immediately.
+
+Pending work is organized as one queue per shard and claims prefer the
+worker's *home* queue (keeping a node's appends mostly shard-local); an
+idle worker whose home queue drained **steals** from the longest queue
+(:func:`repro.parallel.pick_steal_victim`).
+
+Everything here is wall-clock free: deadlines and heartbeat ages are
+computed with ``time.monotonic()`` (injectable for tests), so an NTP
+step can neither spuriously expire every lease nor keep a dead worker
+alive.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable
+
+import repro.obs as obs
+from repro.nas.retry import ErrorKind, WorkerLostError, classify_error
+from repro.parallel.scheduler import pick_steal_victim
+from repro.utils.logging import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.nas.config import ModelConfig
+
+__all__ = ["TrialTask", "Lease", "LeaseTable"]
+
+_LOG = get_logger("nas.fabric.lease")
+
+# Module-level instrument handles: cached once, no-ops while obs is disabled.
+_CLAIMS = obs.counter("repro_nas_lease_claims_total")
+_HEARTBEATS = obs.counter("repro_nas_lease_heartbeats_total")
+_RECLAIMS = obs.counter("repro_nas_lease_reclaims_total")
+_STEALS = obs.counter("repro_nas_work_steals_total")
+_POISONED = obs.counter("repro_nas_poison_trials_total")
+_PENDING = obs.gauge("repro_nas_fabric_pending_trials")
+_ACTIVE = obs.gauge("repro_nas_fabric_active_leases")
+
+
+@dataclass
+class TrialTask:
+    """One unit of leased work: a trial to run and where its record goes."""
+
+    trial_id: int
+    config: "ModelConfig"
+    shard: int
+    #: Times this task has been handed out (1 after the first claim).
+    lease_count: int = 0
+
+
+@dataclass
+class Lease:
+    """A worker's claim on a batch of tasks, valid until ``expires_at``.
+
+    ``expires_at`` is a ``time.monotonic()`` instant — comparable only
+    inside the coordinator process, immune to wall-clock steps.
+    """
+
+    lease_id: int
+    worker_id: str
+    tasks: list[TrialTask]
+    expires_at: float
+    issued_at: float
+    heartbeats: int = 0
+
+    def trial_ids(self) -> list[int]:
+        return [t.trial_id for t in self.tasks]
+
+
+@dataclass
+class _Stats:
+    claims: int = 0
+    heartbeats: int = 0
+    reclaims: int = 0
+    steals: int = 0
+    poisoned: int = 0
+    releases: int = 0
+
+
+class LeaseTable:
+    """Thread-safe lease bookkeeping for one sweep.
+
+    Parameters
+    ----------
+    n_queues:
+        Pending-queue count (normally the store's shard count); tasks
+        land in queue ``task.shard % n_queues``.
+    batch_size:
+        Maximum tasks per claim.
+    ttl_s:
+        Lease time-to-live: a lease not heartbeated for this long is
+        expired and reclaimed.  Must comfortably exceed one trial's
+        duration — an over-eager TTL only costs duplicate *execution*,
+        never duplicate *records* (the coordinator deduplicates
+        commits), but wasted work is wasted work.
+    max_leases:
+        Times one task may be leased before it is quarantined as poison.
+    clock:
+        Injectable monotonic clock (tests); defaults to
+        ``time.monotonic`` — never the wall clock.
+    """
+
+    def __init__(
+        self,
+        tasks: Iterable[TrialTask] = (),
+        n_queues: int = 1,
+        batch_size: int = 1,
+        ttl_s: float = 30.0,
+        max_leases: int = 3,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if n_queues < 1:
+            raise ValueError(f"n_queues must be >= 1, got {n_queues}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if ttl_s <= 0:
+            raise ValueError(f"ttl_s must be positive, got {ttl_s}")
+        if max_leases < 1:
+            raise ValueError(f"max_leases must be >= 1, got {max_leases}")
+        self.n_queues = n_queues
+        self.batch_size = batch_size
+        self.ttl_s = ttl_s
+        self.max_leases = max_leases
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._queues: list[deque[TrialTask]] = [deque() for _ in range(n_queues)]
+        self._active: dict[int, Lease] = {}
+        self._done: set[int] = set()
+        self._poisoned: list[TrialTask] = []
+        self._next_lease_id = 0
+        self._total = 0
+        self.stats = _Stats()
+        for task in tasks:
+            self.add_task(task)
+
+    # -- task intake ---------------------------------------------------------
+
+    def add_task(self, task: TrialTask) -> None:
+        """Enqueue one task (callable mid-sweep: elastic workloads)."""
+        with self._lock:
+            self._queues[task.shard % self.n_queues].append(task)
+            self._total += 1
+            _PENDING.set(self._pending_count())
+
+    def _pending_count(self) -> int:
+        return sum(len(q) for q in self._queues)
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Tasks waiting in queues."""
+        with self._lock:
+            return self._pending_count()
+
+    @property
+    def active_leases(self) -> int:
+        with self._lock:
+            return len(self._active)
+
+    @property
+    def done(self) -> int:
+        """Tasks completed (committed by the coordinator)."""
+        with self._lock:
+            return len(self._done)
+
+    @property
+    def poisoned(self) -> list[TrialTask]:
+        """Tasks quarantined after exhausting ``max_leases``."""
+        with self._lock:
+            return list(self._poisoned)
+
+    @property
+    def outstanding(self) -> int:
+        """Tasks not yet done or poisoned (pending + leased)."""
+        with self._lock:
+            leased = sum(len(lease.tasks) for lease in self._active.values())
+            return self._pending_count() + leased
+
+    @property
+    def finished(self) -> bool:
+        """Whether every task is done or poisoned."""
+        with self._lock:
+            total_settled = len(self._done) + len(self._poisoned)
+            return total_settled >= self._total and not self._active \
+                and self._pending_count() == 0
+
+    def queue_sizes(self) -> list[int]:
+        with self._lock:
+            return [len(q) for q in self._queues]
+
+    # -- the lease lifecycle -------------------------------------------------
+
+    def claim(self, worker_id: str, home: int | None = None) -> Lease | None:
+        """Claim up to ``batch_size`` tasks; ``None`` when nothing is pending.
+
+        Prefers the worker's ``home`` queue; when that queue is empty the
+        claim *steals* from the longest non-empty queue (deterministic
+        victim selection via :func:`pick_steal_victim`).
+        """
+        with self._lock:
+            sizes = [len(q) for q in self._queues]
+            stolen = False
+            if home is not None:
+                home %= self.n_queues
+            if home is not None and sizes[home] > 0:
+                source = home
+            else:
+                source = pick_steal_victim(sizes, exclude=() if home is None else {home})
+                stolen = source is not None and home is not None
+            if source is None:
+                return None
+            queue = self._queues[source]
+            tasks: list[TrialTask] = []
+            while queue and len(tasks) < self.batch_size:
+                task = queue.popleft()
+                if task.trial_id in self._done:
+                    # A stale worker committed this trial after it was
+                    # reclaimed; the requeued copy is obsolete.
+                    continue
+                task.lease_count += 1
+                tasks.append(task)
+            if not tasks:
+                _PENDING.set(self._pending_count())
+                return None
+            now = self._clock()
+            lease = Lease(
+                lease_id=self._next_lease_id,
+                worker_id=worker_id,
+                tasks=tasks,
+                expires_at=now + self.ttl_s,
+                issued_at=now,
+            )
+            self._next_lease_id += 1
+            self._active[lease.lease_id] = lease
+            self.stats.claims += 1
+            if stolen:
+                self.stats.steals += 1
+                _STEALS.inc()
+            _CLAIMS.inc()
+            _PENDING.set(self._pending_count())
+            _ACTIVE.set(len(self._active))
+            return lease
+
+    def heartbeat(self, lease_id: int) -> bool:
+        """Extend a lease's deadline; ``False`` if the lease is gone.
+
+        A ``False`` return tells a worker its lease was reclaimed (it
+        was presumed dead) — it should abandon the batch; any results it
+        still submits are deduplicated by the coordinator.
+        """
+        with self._lock:
+            lease = self._active.get(lease_id)
+            if lease is None:
+                return False
+            lease.expires_at = self._clock() + self.ttl_s
+            lease.heartbeats += 1
+            self.stats.heartbeats += 1
+            _HEARTBEATS.inc()
+            return True
+
+    def mark_done(self, trial_id: int) -> None:
+        """Record a committed trial; removes it from any active lease."""
+        with self._lock:
+            self._done.add(trial_id)
+            emptied = []
+            for lease in self._active.values():
+                lease.tasks = [t for t in lease.tasks if t.trial_id != trial_id]
+                if not lease.tasks:
+                    emptied.append(lease.lease_id)
+            for lease_id in emptied:
+                del self._active[lease_id]
+            _ACTIVE.set(len(self._active))
+
+    def release(
+        self, lease_id: int, error: BaseException | None = None
+    ) -> list[TrialTask]:
+        """Voluntarily return a lease's unfinished tasks.
+
+        The release reason is classified by the retry taxonomy:
+        transient (the default, :class:`WorkerLostError`) re-queues the
+        tasks at the *front* of their home queues; anything else poisons
+        them.  Returns the poisoned tasks.
+        """
+        with self._lock:
+            lease = self._active.pop(lease_id, None)
+            if lease is None:
+                return []
+            self.stats.releases += 1
+            poisoned = self._requeue_or_poison(lease, error)
+            _PENDING.set(self._pending_count())
+            _ACTIVE.set(len(self._active))
+            return poisoned
+
+    def reclaim(self, now: float | None = None) -> list[Lease]:
+        """Expire and re-lease overdue leases; returns the reclaimed ones.
+
+        The coordinator pumps this continuously.  A reclaimed lease's
+        tasks go back to the front of their queues (transient worker
+        loss) unless a task has hit ``max_leases`` — then it is poison.
+        """
+        reclaimed: list[Lease] = []
+        with self._lock:
+            now = self._clock() if now is None else now
+            for lease_id, lease in list(self._active.items()):
+                if not lease.tasks:  # fully committed; retire quietly
+                    del self._active[lease_id]
+                    continue
+                if lease.expires_at > now:
+                    continue
+                del self._active[lease_id]
+                error = WorkerLostError(
+                    f"worker {lease.worker_id!r} missed its heartbeat "
+                    f"(lease {lease_id}, ttl {self.ttl_s:.3g}s)"
+                )
+                self._requeue_or_poison(lease, error)
+                reclaimed.append(lease)
+                self.stats.reclaims += 1
+                _RECLAIMS.inc()
+                _LOG.warning(
+                    "reclaimed lease %d from worker %r (%d trial(s) re-queued)",
+                    lease_id, lease.worker_id, len(lease.tasks),
+                )
+            if reclaimed:
+                _PENDING.set(self._pending_count())
+                _ACTIVE.set(len(self._active))
+        return reclaimed
+
+    def _requeue_or_poison(
+        self, lease: Lease, error: BaseException | None
+    ) -> list[TrialTask]:
+        """Lock held.  Returns the tasks that were poisoned."""
+        kind = ErrorKind.TRANSIENT if error is None else classify_error(error)
+        poisoned: list[TrialTask] = []
+        for task in reversed(lease.tasks):  # appendleft preserves order
+            if task.trial_id in self._done:
+                continue
+            exhausted = task.lease_count >= self.max_leases
+            if kind is not ErrorKind.TRANSIENT or exhausted:
+                self._poisoned.append(task)
+                poisoned.append(task)
+                self.stats.poisoned += 1
+                _POISONED.inc()
+                _LOG.warning(
+                    "poisoned trial %d after %d lease(s): %s",
+                    task.trial_id, task.lease_count,
+                    error if error is not None else "non-transient release",
+                )
+            else:
+                self._queues[task.shard % self.n_queues].appendleft(task)
+        return poisoned

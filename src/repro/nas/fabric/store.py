@@ -1,0 +1,378 @@
+"""Hash-sharded trial store: N crash-safe JSONL shards behind one API.
+
+One JSONL file is the availability bottleneck of a large sweep: every
+worker's records funnel through a single append handle, one corrupt
+tail quarantines (and rewrites) the *whole* history, and resume must
+re-scan everything.  :class:`ShardedTrialStore` splits the store into N
+shard files, each a full crash-safe :class:`~repro.nas.storage.TrialStore`
+(durability knob, tail quarantine, run manifest), with three fabric
+guarantees layered on top:
+
+- **Pure routing** — a record's shard is a pure function of its
+  configuration fingerprint (:func:`shard_index`), independent of trial
+  order, worker identity, time, or anything else.  Two writers can
+  never disagree about where a record belongs.
+- **Shard-count independence** — the merged view reads *every* shard
+  file in the directory (any layout generation) and yields records in
+  deterministic ``(fingerprint, trial_id)`` order, so a store written
+  under N shards and re-read under M shards produces the identical
+  record sequence.  Resharding is just "append under the new count".
+- **Background compaction** — loading quarantines corrupt shard tails
+  in memory immediately but can defer the per-shard atomic rewrites to
+  a compactor thread (:meth:`ShardedTrialStore.load` with
+  ``compact="background"``), so a wide store is readable without first
+  rewriting every damaged shard serially.  Appends to a not-yet
+  compacted shard force its compaction first — a partial tail line can
+  never be concatenated onto.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+import repro.obs as obs
+from repro.nas.storage import RunManifest, TrialStore
+from repro.nas.trial import TrialRecord
+from repro.utils.logging import get_logger
+from repro.utils.rng import stable_hash
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.nas.config import ModelConfig
+
+__all__ = [
+    "ShardedTrialStore",
+    "record_fingerprint",
+    "shard_index",
+    "shard_filename",
+]
+
+_LOG = get_logger("nas.fabric.store")
+
+_SHARD_RE = re.compile(r"^shard-(\d{5})-of-(\d{5})\.jsonl$")
+
+# Per-shard record gauges are created lazily (labelled by shard file).
+_COMPACTIONS = obs.counter("repro_nas_shard_compactions_total")
+
+
+def record_fingerprint(config: "ModelConfig") -> int:
+    """Stable 64-bit fingerprint of one configuration.
+
+    This is the fabric's record identity: shard routing, the merged
+    iteration order and commit-time deduplication all key off it.
+    """
+    return stable_hash("trial-fingerprint", config.config_id())
+
+
+def shard_index(config: "ModelConfig", n_shards: int) -> int:
+    """Home shard of a configuration under an ``n_shards`` layout.
+
+    A pure function of the configuration fingerprint — no state, no
+    clock, no caller identity — so every process routes identically.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    return record_fingerprint(config) % n_shards
+
+
+def shard_filename(idx: int, n_shards: int) -> str:
+    """Canonical shard file name (``shard-00002-of-00008.jsonl``)."""
+    if not 0 <= idx < n_shards:
+        raise ValueError(f"shard index {idx} out of range for {n_shards} shards")
+    return f"shard-{idx:05d}-of-{n_shards:05d}.jsonl"
+
+
+class ShardedTrialStore:
+    """N hash-partitioned :class:`TrialStore` shards under one directory.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the shard files (created on first append).
+    n_shards:
+        Shard count of the *write* layout.  Reads are layout-agnostic:
+        :meth:`load` merges every ``shard-*-of-*.jsonl`` file present,
+        including files written under a different shard count, so
+        resharding a store is simply reopening it with a new
+        ``n_shards``.
+    durability:
+        Per-append durability knob, passed through to every shard (see
+        :class:`TrialStore`).
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        n_shards: int = 4,
+        durability: str = "flush",
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.root = Path(root)
+        self.n_shards = n_shards
+        self.durability = durability
+        #: Write-layout shards, by index (lazily opened for append).
+        self._shards: dict[int, TrialStore] = {}
+        #: Read-only stores for shard files of *other* layouts found by
+        #: :meth:`load` (kept so their records stay part of the view).
+        self._legacy: list[TrialStore] = []
+        # One lock per write shard: appends and background compaction
+        # must not interleave a rewrite with an append.
+        self._locks: dict[int, threading.Lock] = {}
+        self._view_lock = threading.Lock()
+        self._records: list[tuple[int, int, TrialRecord]] = []  # (fp, trial_id, rec)
+        self._by_config: dict[str, TrialRecord] = {}
+        self._sorted = True
+        #: Quarantined ``(lineno, raw)`` pairs per shard file name.
+        self.quarantined: dict[str, list[tuple[int, str]]] = {}
+        self._compactor: threading.Thread | None = None
+        self._gauges: dict[int, object] = {}
+
+    # -- layout --------------------------------------------------------------
+
+    def shard_path(self, idx: int) -> Path:
+        """Path of write-layout shard ``idx``."""
+        return self.root / shard_filename(idx, self.n_shards)
+
+    def shard_paths(self) -> list[Path]:
+        """Every shard file currently present, sorted by name."""
+        if not self.root.exists():
+            return []
+        return sorted(p for p in self.root.iterdir() if _SHARD_RE.match(p.name))
+
+    def shard_for(self, config: "ModelConfig") -> int:
+        """Home shard index of ``config`` under the write layout."""
+        return shard_index(config, self.n_shards)
+
+    def _shard(self, idx: int) -> TrialStore:
+        store = self._shards.get(idx)
+        if store is None:
+            store = TrialStore(self.shard_path(idx), durability=self.durability)
+            self._shards[idx] = store
+            self._locks.setdefault(idx, threading.Lock())
+        return store
+
+    def _gauge(self, idx: int):
+        gauge = self._gauges.get(idx)
+        if gauge is None:
+            gauge = obs.gauge("repro_nas_shard_records", shard=str(idx))
+            self._gauges[idx] = gauge
+        return gauge
+
+    # -- collection view -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._records.sort(key=lambda t: (t[0], t[1]))
+            self._sorted = True
+
+    def __iter__(self) -> Iterator[TrialRecord]:
+        """Merged records in deterministic ``(fingerprint, trial_id)`` order.
+
+        The order is a pure function of the record *set* — shard count,
+        append order and worker scheduling cannot perturb it, which is
+        what makes chaos-certification byte comparisons meaningful.
+        """
+        with self._view_lock:
+            self._ensure_sorted()
+            snapshot = [rec for _, _, rec in self._records]
+        return iter(snapshot)
+
+    def records(self, ok_only: bool = False) -> list[TrialRecord]:
+        """Merged records (optionally successful only), deterministic order."""
+        if ok_only:
+            return [r for r in self if r.ok]
+        return list(self)
+
+    def find(self, config: "ModelConfig") -> TrialRecord | None:
+        """The record for a configuration, if any shard holds one."""
+        return self._by_config.get(config.config_id())
+
+    def analysis_records(self) -> list[dict]:
+        """Flat objective records of successful trials (Pareto input)."""
+        return [r.as_analysis_record() for r in self.records(ok_only=True)]
+
+    def _index(self, record: TrialRecord) -> None:
+        with self._view_lock:
+            self._records.append(
+                (record_fingerprint(record.config), record.trial_id, record)
+            )
+            self._by_config[record.config.config_id()] = record
+            self._sorted = False
+
+    # -- appends -------------------------------------------------------------
+
+    def add(self, record: TrialRecord) -> None:
+        """Route the record to its home shard and append it there."""
+        idx = self.shard_for(record.config)
+        shard = self._shard(idx)
+        with self._locks[idx]:
+            shard.add(record)
+        self._index(record)
+        self._gauge(idx).set(len(shard))
+
+    def flush(self) -> None:
+        """Flush every open shard append handle."""
+        for shard in self._shards.values():
+            shard.flush()
+
+    def close(self) -> None:
+        """Close every shard (waiting for background compaction first)."""
+        self.wait_for_compaction()
+        for shard in list(self._shards.values()) + self._legacy:
+            shard.close()
+
+    def __enter__(self) -> "ShardedTrialStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- load + compaction ---------------------------------------------------
+
+    def load(self, strict: bool = False, compact: str = "eager") -> int:
+        """Load every shard file in the directory; returns records loaded.
+
+        ``compact`` controls when corrupt shard tails are rewritten:
+
+        - ``"eager"`` — each damaged shard is quarantined and atomically
+          rewritten inline, exactly like ``TrialStore.load``;
+        - ``"background"`` — records are available immediately; a
+          compactor thread rewrites the damaged shards concurrently
+          (join it with :meth:`wait_for_compaction`);
+        - ``"defer"`` — rewrites wait until :meth:`compact_all` or the
+          first append to the damaged shard.
+        """
+        if compact not in ("eager", "background", "defer"):
+            raise ValueError(
+                f"compact must be 'eager', 'background' or 'defer', got {compact!r}"
+            )
+        self.wait_for_compaction()
+        with self._view_lock:
+            self._records = []
+            self._by_config = {}
+            self._sorted = True
+        # Drop any previously opened shard objects: TrialStore.load
+        # appends to its in-memory records, so reloading through a
+        # cached shard would double-count.
+        for shard in list(self._shards.values()) + self._legacy:
+            shard.close()
+        self._shards = {}
+        self._legacy = []
+        self.quarantined = {}
+        count = 0
+        dirty: list[TrialStore] = []
+        for path in self.shard_paths():
+            match = _SHARD_RE.match(path.name)
+            assert match is not None
+            idx, total = int(match.group(1)), int(match.group(2))
+            if total == self.n_shards:
+                store = self._shard(idx)
+            else:  # a previous layout generation: readable, never appended
+                store = TrialStore(path, durability=self.durability)
+                self._legacy.append(store)
+            count += store.load(strict=strict, compact=False)
+            for record in store:
+                self._index(record)
+            if store.quarantined:
+                self.quarantined[path.name] = list(store.quarantined)
+                dirty.append(store)
+            if total == self.n_shards:
+                self._gauge(idx).set(len(store))
+        if dirty:
+            if compact == "eager":
+                for store in dirty:
+                    self._compact_store(store)
+            elif compact == "background":
+                self._compactor = threading.Thread(
+                    target=self._compact_many,
+                    args=(dirty,),
+                    name="repro-shard-compactor",
+                    daemon=True,
+                )
+                self._compactor.start()
+        return count
+
+    def _lock_for(self, store: TrialStore) -> threading.Lock:
+        for idx, shard in self._shards.items():
+            if shard is store:
+                return self._locks[idx]
+        return self._view_lock  # legacy shards: any exclusive lock works
+
+    def _compact_store(self, store: TrialStore) -> None:
+        with self._lock_for(store):
+            if store.compact():
+                _COMPACTIONS.inc()
+
+    def _compact_many(self, stores: list[TrialStore]) -> None:
+        for store in stores:
+            self._compact_store(store)
+
+    def compact_all(self) -> int:
+        """Rewrite every shard with a pending quarantine; returns count."""
+        self.wait_for_compaction()
+        done = 0
+        for store in list(self._shards.values()) + self._legacy:
+            if store.compaction_pending:
+                self._compact_store(store)
+                done += 1
+        return done
+
+    def wait_for_compaction(self, timeout: float | None = None) -> None:
+        """Block until the background compactor (if any) finishes."""
+        if self._compactor is not None:
+            self._compactor.join(timeout)
+            if not self._compactor.is_alive():
+                self._compactor = None
+
+    @property
+    def compaction_pending(self) -> bool:
+        """Whether any shard still has a deferred quarantine rewrite."""
+        return any(
+            s.compaction_pending for s in list(self._shards.values()) + self._legacy
+        )
+
+    # -- manifests -----------------------------------------------------------
+
+    def write_manifest(self, manifest: RunManifest) -> None:
+        """Write the sweep manifest next to every write-layout shard."""
+        for idx in range(self.n_shards):
+            self._shard(idx).write_manifest(manifest)
+
+    def verify_or_write_manifest(self, manifest: RunManifest) -> None:
+        """Resume gate across all shards.
+
+        Every existing shard manifest must match (each raises
+        :class:`~repro.nas.storage.ResumeMismatchError` otherwise);
+        missing ones are written.  Legacy-layout shards are verified
+        too — their records participate in resume skipping, so they
+        must come from the same sweep.
+        """
+        for idx in range(self.n_shards):
+            self._shard(idx).verify_or_write_manifest(manifest)
+        for store in self._legacy:
+            store.verify_or_write_manifest(manifest)
+
+    def read_manifest(self) -> RunManifest | None:
+        """The first shard manifest found, or ``None``."""
+        for store in list(self._shards.values()) + self._legacy:
+            manifest = store.read_manifest()
+            if manifest is not None:
+                return manifest
+        for idx in range(self.n_shards):
+            store = TrialStore(self.shard_path(idx))
+            manifest = store.read_manifest()
+            if manifest is not None:
+                return manifest
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedTrialStore(root={str(self.root)!r}, n_shards={self.n_shards}, "
+            f"records={len(self)})"
+        )

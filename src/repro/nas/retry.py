@@ -45,12 +45,15 @@ from repro.utils.rng import stable_hash
 __all__ = [
     "ErrorKind",
     "TransientTrialError",
+    "WorkerLostError",
+    "NodeKilledError",
     "PermanentTrialError",
     "TrialDeadlineExceeded",
     "FATAL_ERRORS",
     "TRANSIENT_ERRORS",
     "classify_error",
     "Deadline",
+    "Heartbeat",
     "current_deadline",
     "deadline_scope",
     "RetryPolicy",
@@ -70,6 +73,28 @@ class ErrorKind(str, enum.Enum):
 
 class TransientTrialError(RuntimeError):
     """Base class for errors worth retrying (environment flakes, chaos)."""
+
+
+class WorkerLostError(TransientTrialError):
+    """A sweep worker died or missed its heartbeat while holding work.
+
+    Transient by taxonomy: the *work* is presumed fine, the *worker* is
+    gone, so the fabric coordinator re-leases the in-flight trials to a
+    surviving node (see :mod:`repro.nas.fabric`).  A trial that keeps
+    losing its workers is eventually quarantined as poison by the lease
+    table's ``max_leases`` cap rather than retried forever.
+    """
+
+
+class NodeKilledError(SystemExit):
+    """A sweep node is dying right now (injected kill or fatal worker loss).
+
+    Deliberately a ``SystemExit`` subclass: it is **fatal to the node**
+    — :func:`run_with_retry` must propagate it instead of retrying, and
+    the node loop unwinds without committing — but **transient to the
+    sweep**: the node stops heartbeating, its lease expires, and the
+    coordinator re-leases the in-flight trials elsewhere.
+    """
 
 
 class PermanentTrialError(RuntimeError):
@@ -171,6 +196,36 @@ class Deadline:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Deadline(limit_s={self.limit_s}, elapsed={self.elapsed():.3g})"
+
+
+class Heartbeat:
+    """Monotonic liveness tracking for one worker/lease.
+
+    Deliberately built on ``time.monotonic()`` (like :class:`Deadline`):
+    lease expiry and heartbeat age must never be computed from the wall
+    clock, where an NTP step or daylight-saving jump would spuriously
+    expire every outstanding lease (or keep a dead worker alive).  The
+    clock is injectable for tests only.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._last = clock()
+
+    def beat(self) -> None:
+        """Record liveness now."""
+        self._last = self._clock()
+
+    def age_s(self) -> float:
+        """Seconds since the last beat (>= 0 by monotonicity)."""
+        return self._clock() - self._last
+
+    def missed(self, ttl_s: float) -> bool:
+        """Whether the last beat is older than ``ttl_s``."""
+        return self.age_s() > ttl_s
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Heartbeat(age_s={self.age_s():.3g})"
 
 
 _DEADLINE_STACK = threading.local()

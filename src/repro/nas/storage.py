@@ -24,6 +24,7 @@ Fault tolerance (see DEVELOPMENT.md "Fault tolerance"):
 from __future__ import annotations
 
 import datetime as _dt
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, Any, Iterable, Iterator, Mapping
@@ -151,6 +152,9 @@ class TrialStore:
         self._handle: IO[str] | None = None
         #: ``(lineno, raw_line)`` pairs quarantined by the last :meth:`load`.
         self.quarantined: list[tuple[int, str]] = []
+        #: Valid lines held back by ``load(compact=False)`` until
+        #: :meth:`compact` performs the deferred atomic rewrite.
+        self._pending_rewrite: list[str] | None = None
 
     # -- persistence plumbing ------------------------------------------------
 
@@ -212,7 +216,14 @@ class TrialStore:
         return list(self._records)
 
     def add(self, record: TrialRecord) -> None:
-        """Append a record (and persist it if a path is configured)."""
+        """Append a record (and persist it if a path is configured).
+
+        A deferred quarantine rewrite (``load(compact=False)``) is
+        forced first: appending onto an un-compacted store could
+        concatenate the new record onto a partial tail line.
+        """
+        if self._pending_rewrite is not None:
+            self.compact()
         self._records.append(record)
         self._by_config[record.config.config_id()] = len(self._records) - 1
         if self.path is not None:
@@ -231,7 +242,7 @@ class TrialStore:
 
     # -- crash-safe load -----------------------------------------------------
 
-    def load(self, strict: bool = False) -> int:
+    def load(self, strict: bool = False, compact: bool = True) -> int:
         """Load records from the configured path; returns the count added.
 
         Undecodable lines (truncated tail after a crash mid-append,
@@ -241,10 +252,17 @@ class TrialStore:
         appends cannot concatenate onto a partial record.  With
         ``strict=True`` corruption raises :class:`StoreCorruptionError`
         instead (nothing is modified).
+
+        ``compact=False`` defers the rewrite: the records are loaded and
+        the corrupt lines recorded in :attr:`quarantined`, but the file
+        is left untouched until :meth:`compact` runs (the sharded store
+        compacts many shards from a background thread this way).  The
+        first :meth:`add` forces the pending compaction.
         """
         if self.path is None:
             raise ValueError("this store has no backing path")
         self.quarantined = []
+        self._pending_rewrite = None
         if not self.path.exists():
             return 0
         count = 0
@@ -270,19 +288,49 @@ class TrialStore:
                     f"{self.path}: {len(bad)} undecodable line(s) "
                     f"(first at line {bad[0][0]}); run load(strict=False) to quarantine"
                 )
-            self._quarantine_and_rewrite(valid_lines)
+            if compact:
+                self._quarantine_and_rewrite(valid_lines)
+            else:
+                self._pending_rewrite = valid_lines
         return count
 
+    @property
+    def compaction_pending(self) -> bool:
+        """Whether a deferred quarantine rewrite is waiting for :meth:`compact`."""
+        return self._pending_rewrite is not None
+
+    def compact(self) -> int:
+        """Perform a deferred quarantine rewrite; returns lines quarantined.
+
+        No-op (returns 0) when the last :meth:`load` found no corruption
+        or already compacted eagerly.
+        """
+        if self._pending_rewrite is None:
+            return 0
+        valid_lines, self._pending_rewrite = self._pending_rewrite, None
+        self._quarantine_and_rewrite(valid_lines)
+        return len(self.quarantined)
+
     def _quarantine_and_rewrite(self, valid_lines: list[str]) -> None:
-        """Move corrupt lines to the sidecar and rewrite the store atomically."""
+        """Move corrupt lines to the sidecar and rewrite the store atomically.
+
+        Honors the store's ``durability`` knob: under ``"fsync"`` the
+        quarantine sidecar and the rewritten store are fsynced (file and
+        directory entry) *before* the rename lands, closing the crash
+        window between the rewrite and the replacement becoming durable.
+        """
         self.close()  # never rewrite under an open append handle
+        fsync = self.durability == "fsync"
         _QUARANTINED.inc(len(self.quarantined))
         stamp = _dt.datetime.now(_dt.timezone.utc).isoformat()
         with open(self.quarantine_path, "a", encoding="utf-8") as sidecar:
             for lineno, raw in self.quarantined:
                 sidecar.write(f"# {stamp} line {lineno} of {self.path.name}\n{raw}\n")
+            if fsync:
+                sidecar.flush()
+                os.fsync(sidecar.fileno())
         body = "".join(line + "\n" for line in valid_lines)
-        atomic_write_text(self.path, body)
+        atomic_write_text(self.path, body, fsync=fsync)
         for lineno, raw in self.quarantined:
             _LOG.warning(
                 "quarantined undecodable store line %d of %s (%d bytes) -> %s",

@@ -18,7 +18,7 @@ from repro.parallel.executor import (
     make_executor,
 )
 from repro.parallel.partition import chunk_evenly, chunk_fixed
-from repro.parallel.scheduler import lpt_schedule
+from repro.parallel.scheduler import lpt_schedule, pick_steal_victim
 
 __all__ = [
     "Executor",
@@ -31,4 +31,5 @@ __all__ = [
     "chunk_evenly",
     "chunk_fixed",
     "lpt_schedule",
+    "pick_steal_victim",
 ]

@@ -1,17 +1,26 @@
-"""Static load balancing for heterogeneous trial costs.
+"""Load balancing for heterogeneous trial costs.
 
 Trial cost varies by an order of magnitude across the search space (a
 stride-1 f=64 model trains ~16x slower than a stride-2 f=32 one), so
-round-robin assignment leaves workers idle.  Longest-processing-time-first
-(LPT) is the classic 4/3-approximation for makespan on identical machines.
+round-robin assignment leaves workers idle.  Two complementary policies
+live here:
+
+- :func:`lpt_schedule` — *static*: longest-processing-time-first, the
+  classic 4/3-approximation for makespan on identical machines, used
+  when every cost is known up front.
+- :func:`pick_steal_victim` — *dynamic*: the work-stealing victim rule
+  of the distributed sweep fabric (:mod:`repro.nas.fabric`).  An idle
+  worker whose home queue drained steals from the longest pending
+  queue; stealing from the longest queue is the standard heuristic that
+  minimizes expected makespan when per-task costs are unknown.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Sequence
+from typing import Container, Sequence
 
-__all__ = ["lpt_schedule"]
+__all__ = ["lpt_schedule", "pick_steal_victim"]
 
 
 def lpt_schedule(costs: Sequence[float], workers: int) -> list[list[int]]:
@@ -44,3 +53,23 @@ def lpt_schedule(costs: Sequence[float], workers: int) -> list[list[int]]:
         assignments[worker].append(task)
         heapq.heappush(heap, (load + costs[task], worker))
     return assignments
+
+
+def pick_steal_victim(
+    queue_sizes: Sequence[int], exclude: Container[int] = ()
+) -> int | None:
+    """Index of the longest non-empty queue, or ``None`` when all are empty.
+
+    Ties break toward the lowest index, making victim selection fully
+    deterministic for a given queue state.  ``exclude`` skips queues the
+    caller must not steal from (typically the thief's own home queue,
+    already known to be empty).
+    """
+    best: int | None = None
+    best_size = 0
+    for idx, size in enumerate(queue_sizes):
+        if idx in exclude or size <= 0:
+            continue
+        if size > best_size:
+            best, best_size = idx, size
+    return best

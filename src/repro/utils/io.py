@@ -18,6 +18,7 @@ import numpy as np
 
 __all__ = [
     "atomic_write_text",
+    "fsync_dir",
     "write_json",
     "read_json",
     "write_jsonl",
@@ -44,19 +45,45 @@ class _NumpyJSONEncoder(json.JSONEncoder):
         return super().default(o)
 
 
-def atomic_write_text(path: str | Path, text: str) -> None:
-    """Write ``text`` to ``path`` atomically (tempfile + rename)."""
+def atomic_write_text(path: str | Path, text: str, fsync: bool = False) -> None:
+    """Write ``text`` to ``path`` atomically (tempfile + rename).
+
+    With ``fsync=True`` the temporary file is fsynced *before* the
+    rename and the parent directory entry is fsynced *after* it, so the
+    replacement survives a power failure at any point: either the old
+    bytes or the complete new bytes are on disk, never a torn file and
+    never a directory entry pointing at unflushed data.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
             handle.write(text)
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
         os.replace(tmp, path)
+        if fsync:
+            fsync_dir(path.parent)
     except BaseException:
         if os.path.exists(tmp):
             os.unlink(tmp)
         raise
+
+
+def fsync_dir(path: str | Path) -> None:
+    """fsync a directory entry (durable renames; no-op where unsupported)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # platforms without directory fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - e.g. network filesystems
+        pass
+    finally:
+        os.close(fd)
 
 
 def write_json(path: str | Path, obj: Any, indent: int = 2) -> None:
