@@ -327,6 +327,166 @@ def _cmd_infer(args: argparse.Namespace) -> int:
     return 0
 
 
+#: The serve-bench fleet ladder: width rungs served side by side (the
+#: Pareto front's latency axis — wider stem = more FLOPs per image).
+_FLEET_WIDTHS = (32, 48, 64)
+_FLEET_NAMES = ("pareto-s", "pareto-m", "pareto-l")
+
+
+def _run_fleet_bench(args: argparse.Namespace) -> int:
+    """The mixed-model multi-tenant fleet scenario behind ``--fleet N``."""
+    import dataclasses
+    import json
+
+    import repro.obs as obs
+    from repro.deploy import load_runtime
+    from repro.graph.trace import trace_model
+    from repro.latency import latency_table
+    from repro.nas.surrogate import SurrogateEvaluator
+    from repro.nn.resnet import build_model
+    from repro.onnxlite.export import export_model
+    from repro.parallel import available_cpus
+    from repro.serve import (
+        AdmissionPolicy,
+        AutoscalerConfig,
+        BatchPolicy,
+        FleetServer,
+        ServeConfig,
+        TenantLoad,
+        TenantQuota,
+        run_fleet_load,
+    )
+
+    if args.worker_mode != "thread":
+        _LOG.error("--fleet is thread-mode only; drop --policy.worker-mode")
+        return 2
+    n_models = min(args.fleet, len(_FLEET_WIDTHS))
+    if n_models < args.fleet:
+        _LOG.warning("--fleet %d clamped to the %d-rung width ladder",
+                     args.fleet, n_models)
+    if args.obs_log:
+        obs.configure(jsonl_path=args.obs_log, reset_metrics=True)
+
+    base_config = _config_from_args(args)
+    surrogate = SurrogateEvaluator()
+    policy = BatchPolicy(
+        max_batch_size=args.max_batch,
+        max_queue_delay_ms=args.max_delay_ms,
+        max_queue_depth=args.queue_depth,
+        replicas=args.replicas,
+        worker_mode="thread",
+    )
+    serve_config = ServeConfig(
+        policy=policy,
+        admission=AdmissionPolicy(tenants={
+            "interactive": TenantQuota(rate_per_s=4000, burst=256, priority=1),
+            "analytics": TenantQuota(rate_per_s=2000, burst=128, priority=0),
+            "archive": TenantQuota(rate_per_s=1000, burst=64, priority=0),
+        }),
+        autoscaler=AutoscalerConfig(
+            min_replicas=1,
+            max_replicas=max(1, args.autoscale_max),
+            background=True,
+            interval_s=0.25,
+        ),
+    )
+
+    models: dict[str, dict] = {}
+    fleet = FleetServer(serve_config)
+    for name, width in zip(_FLEET_NAMES[:n_models], _FLEET_WIDTHS[:n_models]):
+        cfg = dataclasses.replace(base_config, initial_output_feature=width)
+        model = build_model(cfg)
+        plan = load_runtime(
+            export_model(model, input_hw=(args.size, args.size))
+        ).compile()
+        table = latency_table(trace_model(model, input_hw=(args.size, args.size)))
+        accuracy = surrogate.expected_accuracy(cfg)
+        fleet.register(name, plan, accuracy=accuracy, latency_ms=table)
+        models[name] = {
+            "width": width,
+            "accuracy_pct": round(accuracy, 2),
+            "latency_ms": {k: round(v, 3) for k, v in sorted(table.items())},
+        }
+        print(f"registered {name}: f={width}, surrogate accuracy "
+              f"{accuracy:.2f}%, predicted mean {table['mean']:.2f} ms "
+              f"(cortexA76cpu {table['cortexA76cpu']:.2f} ms)")
+
+    # Budgets are device predictions on the ladder's cortexA76cpu column:
+    # interactive's budget admits only the small rung, analytics' admits
+    # the mid rung under spill, archive pins the large rung by hint.
+    small_ms = models[_FLEET_NAMES[0]]["latency_ms"]["cortexA76cpu"]
+    interactive_budget = round(small_ms * 1.5, 2)
+    analytics_budget = round(small_ms * 3.0, 2)
+    tenants = [
+        TenantLoad(name="interactive", clients=max(2, args.clients // 2),
+                   budget_ms=interactive_budget, device="cortexA76cpu",
+                   deadline_ms=400.0, priority=1),
+        TenantLoad(name="analytics", clients=max(1, args.clients // 4),
+                   budget_ms=analytics_budget, device="cortexA76cpu",
+                   deadline_ms=800.0),
+        TenantLoad(name="archive", clients=max(1, args.clients // 8),
+                   model=_FLEET_NAMES[n_models - 1], deadline_ms=1500.0),
+    ]
+    try:
+        with fleet:
+            report = run_fleet_load(
+                fleet, tenants, duration_s=args.duration, seed=args.seed
+            )
+            stats = fleet.stats()
+            scale_events = list(fleet.scale_events)
+    finally:
+        if args.obs_log:
+            obs.shutdown()
+
+    print(report.render())
+    for event in scale_events:
+        print(f"  scale {event['action']:<4} {event['model']} -> "
+              f"{event['replicas']} replica(s) (queue {event['queue_depth']})")
+    print(f"  cores {available_cpus()}  cache hits {stats['cache']['hits']}  "
+          f"misses {stats['cache']['misses']}")
+    if args.obs_log:
+        print(f"observability log written to {args.obs_log} "
+              f"(render with: repro-nas obs report {args.obs_log})")
+
+    if args.json:
+        payload = {
+            "fleet": report.as_dict(),
+            "models": models,
+            "tenants": [dataclasses.asdict(t) for t in tenants],
+            "slo_attainment": report.slo_attainment,
+            "all_routes_fit_budget": report.all_routes_fit_budget,
+            "scale_events": scale_events,
+            "counters": {
+                name: {k: v for k, v in m.items() if isinstance(v, (int, float))}
+                for name, m in stats["models"].items()
+            },
+            "admission": stats.get("admission", {}),
+            "extra_info": {
+                "cpu_count": available_cpus(),
+                "serve_config": serve_config.as_dict(),
+            },
+            "input_hw": args.size,
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"JSON written to {args.json}")
+
+    if args.assert_slo > 0:
+        ok = report.slo_attainment >= args.assert_slo and report.all_routes_fit_budget
+        if not ok:
+            _LOG.error(
+                "fleet SLO assertion failed: attainment %.4f (need >= %.4f), "
+                "all_routes_fit_budget=%s",
+                report.slo_attainment, args.assert_slo,
+                report.all_routes_fit_budget,
+            )
+            return 1
+        print(f"SLO assertion passed: attainment "
+              f"{100 * report.slo_attainment:.2f}% >= "
+              f"{100 * args.assert_slo:.0f}%, all routes fit budget")
+    return 0
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     import json
 
@@ -339,11 +499,14 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.serve import (
         BatchPolicy,
         PlanServer,
+        ServeConfig,
         run_load,
         serial_baseline,
         suggest_batch_policy,
     )
 
+    if args.fleet > 0:
+        return _run_fleet_bench(args)
     if args.obs_log:
         obs.configure(jsonl_path=args.obs_log, reset_metrics=True)
     config = _config_from_args(args)
@@ -398,8 +561,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         print(f"quantized vs fp32 serial: {baseline.throughput_ips:.1f} vs "
               f"{fp32_serial.throughput_ips:.1f} images/sec ({ratio:.2f}x)")
     try:
-        with PlanServer(plan, policy=policy) as server:
+        with PlanServer(plan, config=ServeConfig(policy=policy)) as server:
             effective_policy = server.policy  # replicas may have been clamped
+            effective_config = server.config
             report = run_load(
                 server,
                 duration_s=args.duration,
@@ -457,6 +621,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 "shared_weight_bytes": stats.get("shared_weight_bytes", 0),
                 "worker_private_weight_bytes": stats.get(
                     "worker_private_weight_bytes", 0),
+                # The resolved (post-clamp) server construction config.
+                "serve_config": effective_config.as_dict(),
             },
             "input_hw": args.size,
         }
@@ -584,23 +750,42 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument("--rate", type=float, default=0.0,
                              help="aggregate open-loop arrival rate in images/sec "
                                   "(0 = closed loop)")
-    serve_bench.add_argument("--replicas", type=int, default=1,
+    # Policy knobs use dotted --policy.* spellings mirroring the
+    # BatchPolicy field names; the historical flat spellings remain as
+    # aliases (same dest) so existing scripts and CI keep working.
+    serve_bench.add_argument("--policy.replicas", "--replicas",
+                             dest="replicas", type=int, default=1,
                              help="plan replicas / worker threads")
-    serve_bench.add_argument("--worker-mode", choices=("thread", "process"),
-                             default="thread",
+    serve_bench.add_argument("--policy.worker-mode", "--worker-mode",
+                             dest="worker_mode",
+                             choices=("thread", "process"), default="thread",
                              help="run plan replicas as threads (shared GIL) or "
                                   "as worker processes over shared-memory "
                                   "weight arenas")
-    serve_bench.add_argument("--workers", type=int, default=0,
-                             help="worker count for --worker-mode process "
-                                  "(0 = use --replicas); clamped to the usable "
-                                  "core count")
-    serve_bench.add_argument("--max-batch", type=int, default=16,
+    serve_bench.add_argument("--policy.workers", "--workers",
+                             dest="workers", type=int, default=0,
+                             help="worker count for --policy.worker-mode process "
+                                  "(0 = use --policy.replicas); clamped to the "
+                                  "usable core count")
+    serve_bench.add_argument("--policy.max-batch-size", "--max-batch",
+                             dest="max_batch", type=int, default=16,
                              help="micro-batcher coalescing limit")
-    serve_bench.add_argument("--max-delay-ms", type=float, default=5.0,
+    serve_bench.add_argument("--policy.max-queue-delay-ms", "--max-delay-ms",
+                             dest="max_delay_ms", type=float, default=5.0,
                              help="deadline before a partial batch is flushed")
-    serve_bench.add_argument("--queue-depth", type=int, default=64,
+    serve_bench.add_argument("--policy.max-queue-depth", "--queue-depth",
+                             dest="queue_depth", type=int, default=64,
                              help="backpressure high-water mark")
+    serve_bench.add_argument("--fleet", type=int, default=0,
+                             help="serve a multi-model fleet of this many "
+                                  "Pareto-ladder widths (max 3) under the "
+                                  "mixed-tenant scenario instead of one model")
+    serve_bench.add_argument("--assert-slo", type=float, default=0.0,
+                             help="with --fleet: exit non-zero unless SLO "
+                                  "attainment reaches this fraction (e.g. 0.95)")
+    serve_bench.add_argument("--autoscale-max", type=int, default=2,
+                             help="with --fleet: autoscaler per-model replica "
+                                  "ceiling (min is 1)")
     serve_bench.add_argument("--target-p99-ms", type=float, default=0.0,
                              help="seed the batch policy from the device latency "
                                   "predictors against this p99 budget "

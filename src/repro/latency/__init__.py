@@ -31,6 +31,13 @@ from repro.latency.fusion import (
 from repro.latency.devices import DeviceProfile, DEVICE_PROFILES
 from repro.latency.predictors import LatencyPredictor, predict_all_devices, LatencySummary
 from repro.latency.registry import get_predictor, list_predictors, PREDICTOR_METADATA
+from repro.latency.selection import (
+    ModelCandidate,
+    ModelSelection,
+    NoFeasibleModel,
+    latency_table,
+    select_model,
+)
 from repro.latency.report import breakdown_table, latency_breakdown
 from repro.latency.energy import (
     ENERGY_MODELS,
@@ -68,4 +75,9 @@ __all__ = [
     "get_predictor",
     "list_predictors",
     "PREDICTOR_METADATA",
+    "ModelCandidate",
+    "ModelSelection",
+    "NoFeasibleModel",
+    "latency_table",
+    "select_model",
 ]

@@ -1,0 +1,152 @@
+"""Budget→model selection: the fleet router's decision function.
+
+The paper produces a *Pareto front* of models traded off across
+accuracy and per-device latency; at serving time a request arrives with
+an accuracy floor and a latency budget for a declared device.  This
+module turns the front into a routing table:
+
+- :func:`latency_table` summarizes a model graph into the per-device
+  prediction dict the router compares budgets against (the same
+  nn-Meter-style predictors that drove the search);
+- :class:`ModelCandidate` is one registered model (name, accuracy,
+  per-device predicted ms);
+- :func:`select_model` applies the routing rule — among candidates with
+  ``accuracy >= floor`` and ``predicted(device) <= budget``, pick the
+  one with the lowest *effective* cost, where effective cost is the
+  prediction inflated by the candidate's current queue load so traffic
+  spills to the next-cheapest feasible model instead of convoying.
+
+Pure functions over plain data: no server state, trivially testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.graph.ir import Graph
+from repro.latency.devices import DEVICE_PROFILES, DeviceProfile
+from repro.latency.predictors import predict_all_devices
+
+__all__ = [
+    "ModelCandidate",
+    "ModelSelection",
+    "NoFeasibleModel",
+    "latency_table",
+    "select_model",
+]
+
+
+class NoFeasibleModel(RuntimeError):
+    """No registered model satisfies the request's accuracy floor."""
+
+
+def latency_table(
+    graph: Graph,
+    profiles: Mapping[str, DeviceProfile] | None = None,
+) -> dict[str, float]:
+    """Per-device predicted latency (ms) plus the ``"mean"`` aggregate.
+
+    The dict's device keys match ``repro.latency.DEVICE_PROFILES`` and
+    are what a :class:`~repro.serve.ServeRequest.device` names; requests
+    without a device are judged against ``"mean"``.
+    """
+    summary = predict_all_devices(graph, DEVICE_PROFILES if profiles is None else profiles)
+    table = dict(summary.per_device_ms)
+    table["mean"] = summary.mean_ms
+    return table
+
+
+@dataclass(frozen=True)
+class ModelCandidate:
+    """One routable model: identity, quality, and predicted cost.
+
+    ``latency_ms`` maps device-profile names to predicted latency and
+    must include a ``"mean"`` entry (see :func:`latency_table`).
+    ``accuracy`` is on whatever scale the caller registers consistently
+    (the surrogate's percent scale, a fraction — floors are compared
+    verbatim).
+    """
+
+    name: str
+    accuracy: float
+    latency_ms: Mapping[str, float]
+
+    def predicted_ms(self, device: str | None) -> float:
+        key = device if device is not None else "mean"
+        try:
+            return self.latency_ms[key]
+        except KeyError:
+            raise KeyError(
+                f"model {self.name!r} has no latency prediction for device "
+                f"{key!r}; known: {sorted(self.latency_ms)}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class ModelSelection:
+    """The router's verdict for one request."""
+
+    name: str
+    predicted_ms: float  # raw device prediction for the chosen model
+    effective_ms: float  # prediction inflated by current queue load
+    fits_budget: bool  # False = floor met but every fit model over budget
+
+
+def select_model(
+    candidates: Iterable[ModelCandidate],
+    *,
+    budget_ms: float | None = None,
+    accuracy_floor: float = 0.0,
+    device: str | None = None,
+    load: Mapping[str, float] | None = None,
+) -> ModelSelection:
+    """Route one request: cheapest model meeting the floor and budget.
+
+    Routing rule, in order:
+
+    1. Drop candidates with ``accuracy < accuracy_floor``; if none
+       remain, raise :class:`NoFeasibleModel` (quality promises are
+       hard — there is no "slightly worse" fallback).
+    2. Among the rest, keep those with ``predicted_ms(device) <=
+       budget_ms`` (no budget keeps all) and pick the minimum
+       *effective* cost: ``predicted * (1 + load[name])``, where
+       ``load`` is each model's current queue pressure (queued requests
+       per replica, or any monotone congestion signal).  The load term
+       makes an otherwise-always-cheapest model spill overflow traffic
+       to the next feasible one.
+    3. If the floor is satisfiable but no floor-satisfying model fits
+       the budget, serve anyway on the lowest-``predicted_ms``
+       floor-satisfying model and mark ``fits_budget=False`` (a slow
+       answer beats no answer; the fleet counts these as budget
+       misses).
+    """
+    pool = [c for c in candidates if c.accuracy >= accuracy_floor]
+    if not pool:
+        raise NoFeasibleModel(
+            f"no model meets accuracy_floor={accuracy_floor:g}"
+        )
+    load = load or {}
+
+    def effective(c: ModelCandidate) -> float:
+        return c.predicted_ms(device) * (1.0 + max(0.0, load.get(c.name, 0.0)))
+
+    fitting = [
+        c for c in pool
+        if budget_ms is None or c.predicted_ms(device) <= budget_ms
+    ]
+    if fitting:
+        best = min(fitting, key=lambda c: (effective(c), c.name))
+        return ModelSelection(
+            name=best.name,
+            predicted_ms=best.predicted_ms(device),
+            effective_ms=effective(best),
+            fits_budget=True,
+        )
+    best = min(pool, key=lambda c: (c.predicted_ms(device), c.name))
+    return ModelSelection(
+        name=best.name,
+        predicted_ms=best.predicted_ms(device),
+        effective_ms=effective(best),
+        fits_budget=False,
+    )

@@ -3,33 +3,73 @@
 The paper's end goal is *deployment* of the Pareto-optimal models on
 resource-limited devices; this package is the request path for that —
 the layer that turns one-shot :meth:`InferencePlan.run` calls into a
-server that batches, parallelizes, and sheds load:
+server that batches, parallelizes, routes, and sheds load:
 
-- :class:`MicroBatcher` — dynamic micro-batching with deadline flush,
-  bounded-queue backpressure (:class:`ServerOverloaded`), graceful drain;
+- :class:`ServeRequest` / :class:`ServeResponse` — the canonical
+  request objects: image plus tenant, priority, wall-clock SLO
+  deadline, device/latency budget, model hint, and accuracy floor in;
+  logits row plus served model and queue/exec timings out;
+- :class:`MicroBatcher` — dynamic micro-batching with priority classes,
+  deadline flush, fail-fast SLO expiry (:class:`DeadlineExceeded`),
+  bounded-queue backpressure (:class:`ServerOverloaded`), graceful
+  drain;
+- :class:`AdmissionPolicy` / :class:`AdmissionController` — per-tenant
+  token buckets and priority defaults (:class:`TenantOverloaded` when a
+  bucket runs dry), shared fleet-wide;
 - :class:`PlanCache` — warm plan replicas + pinned input buffers keyed
   by ``(model fingerprint, batch bucket)`` with power-of-two padding,
   so steady-state serving performs zero arena allocations;
-- :class:`PlanServer` — N worker threads, each running exclusive plan
-  replicas (weights shared, arenas private); with
-  ``BatchPolicy(worker_mode="process")`` batches execute in a
+- :class:`PlanServer` — single-model serving: N worker threads, each
+  running exclusive plan replicas (weights shared, arenas private);
+  with ``BatchPolicy(worker_mode="process")`` batches execute in a
   :class:`WorkerPool` of worker *processes* over shared-memory weight
   arenas (:mod:`repro.serve.shm`), escaping the GIL on multi-core
   machines with bitwise-identical results;
-- :class:`BatchPolicy` / :func:`suggest_batch_policy` — batching knobs,
-  optionally seeded from the device latency predictors against a p99
-  budget;
-- :func:`run_load` / :func:`serial_baseline` — closed/open-loop load
-  generation and the single-stream reference for throughput ratios.
+- :class:`FleetServer` — multi-model serving over one shared cache:
+  requests route to the cheapest registered model predicted (by the
+  :mod:`repro.latency` device predictors) to meet their accuracy floor
+  and latency budget, and a tick-driven autoscaler grows/retires
+  replicas per model from queue-depth and p99 signals;
+- :class:`ServeConfig` — consolidated construction config
+  (:class:`BatchPolicy` + warm + cpus + admission +
+  :class:`AutoscalerConfig`) accepted by both servers;
+- :func:`run_load` / :func:`run_fleet_load` / :func:`serial_baseline` —
+  closed/open-loop and multi-tenant load generation plus the
+  single-stream reference for throughput ratios.
 
 Everything is instrumented through :mod:`repro.obs` (queue depth,
-batch-size / queue-wait / end-to-end latency histograms, served and
-rejected counters) — enable with ``repro.obs.configure()``.
+batch-size / queue-wait / end-to-end latency histograms, served /
+rejected / expired counters, per-tenant admission counters, per-model
+replica gauges and scale events, SLO attainment) — enable with
+``repro.obs.configure()``.
 """
 
-from repro.serve.batcher import MicroBatcher, Request, ServerOverloaded
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    TenantOverloaded,
+    TenantQuota,
+    TokenBucket,
+)
+from repro.serve.batcher import (
+    DeadlineExceeded,
+    MicroBatcher,
+    Request,
+    ServeRequest,
+    ServeResponse,
+    ServerOverloaded,
+)
 from repro.serve.cache import CachedPlan, PlanCache
-from repro.serve.loadgen import LoadReport, run_load, serial_baseline
+from repro.serve.config import AutoscalerConfig, ServeConfig
+from repro.serve.fleet import FleetServer, ModelSpec
+from repro.serve.loadgen import (
+    FleetLoadReport,
+    LoadReport,
+    TenantLoad,
+    run_fleet_load,
+    run_load,
+    serial_baseline,
+)
 from repro.serve.policy import (
     BatchPolicy,
     bucket_for,
@@ -50,17 +90,31 @@ from repro.serve.shm import (
 from repro.serve.workers import WorkerDied, WorkerPool, WorkerTaskError
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
     "AttachedPlan",
+    "AutoscalerConfig",
     "BatchPolicy",
     "CachedPlan",
+    "DeadlineExceeded",
+    "FleetLoadReport",
+    "FleetServer",
     "LoadReport",
     "MicroBatcher",
+    "ModelSpec",
     "PlanCache",
     "PlanServer",
     "PlanSpec",
     "Request",
+    "ServeConfig",
+    "ServeRequest",
+    "ServeResponse",
     "ServerOverloaded",
     "SharedPlanWeights",
+    "TenantLoad",
+    "TenantOverloaded",
+    "TenantQuota",
+    "TokenBucket",
     "WorkerDied",
     "WorkerPool",
     "WorkerTaskError",
@@ -70,6 +124,7 @@ __all__ = [
     "plan_buckets",
     "predicted_batch_ms",
     "publish_plan",
+    "run_fleet_load",
     "run_load",
     "serial_baseline",
     "suggest_batch_policy",

@@ -1,0 +1,210 @@
+"""SLO-aware admission control: per-tenant token buckets + priority classes.
+
+A single global ``max_queue_depth`` protects the server but not the
+tenants sharing it — one chatty client can starve everyone else out of
+the queue.  Admission control moves the gate per tenant: each tenant
+owns a :class:`TokenBucket` (sustained rate + burst) and a default
+priority class, declared in an :class:`AdmissionPolicy` and enforced by
+the :class:`AdmissionController` that
+:meth:`repro.serve.MicroBatcher.submit_request` consults before
+enqueueing.  The global depth limit stays as the physical backstop —
+buckets bound *fairness*, the queue bound *memory*.
+
+Buckets are classic leaky token buckets on the batcher's injectable
+clock: ``burst`` tokens of capacity refilled at ``rate_per_s``, one
+token per admitted request.  A tenant without a declared quota gets the
+policy's ``default`` quota; ``rate_per_s=None`` means unlimited (the
+bucket always admits), so an empty :class:`AdmissionPolicy` changes
+nothing but the per-tenant accounting.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import repro.obs as obs
+
+from repro.serve.batcher import ServerOverloaded
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "TenantOverloaded",
+    "TenantQuota",
+    "TokenBucket",
+]
+
+
+class TenantOverloaded(ServerOverloaded):
+    """A tenant's token bucket is empty.
+
+    Subclasses :class:`~repro.serve.ServerOverloaded` so existing
+    backpressure handling (load generators, clients backing off) treats
+    per-tenant rejection exactly like global overload.
+    """
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Admission quota for one tenant.
+
+    Parameters
+    ----------
+    rate_per_s:
+        Sustained admission rate (tokens/second).  ``None`` = unlimited.
+    burst:
+        Bucket capacity: how many requests may arrive back-to-back
+        before the rate limit bites.
+    priority:
+        Default priority class for the tenant's requests (higher is
+        served first); a request's explicit
+        :attr:`~repro.serve.ServeRequest.priority` overrides it.
+    """
+
+    rate_per_s: float | None = None
+    burst: int = 64
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s is not None and self.rate_per_s <= 0:
+            raise ValueError(f"rate_per_s must be > 0 or None, got {self.rate_per_s}")
+        if self.burst < 1:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+
+    def as_dict(self) -> dict:
+        return {"rate_per_s": self.rate_per_s, "burst": self.burst,
+                "priority": self.priority}
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Declarative admission config: per-tenant quotas + a default.
+
+    Tenants not present in ``tenants`` fall back to ``default`` (which
+    itself defaults to an unlimited-rate quota, so turning admission on
+    only starts *enforcing* once quotas are declared).
+    """
+
+    tenants: Mapping[str, TenantQuota] = field(default_factory=dict)
+    default: TenantQuota = field(default_factory=TenantQuota)
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self.tenants.get(tenant, self.default)
+
+    def as_dict(self) -> dict:
+        return {
+            "default": self.default.as_dict(),
+            "tenants": {name: q.as_dict() for name, q in sorted(self.tenants.items())},
+        }
+
+
+class TokenBucket:
+    """Thread-safe token bucket on an injectable monotonic clock."""
+
+    def __init__(
+        self,
+        rate_per_s: float | None,
+        burst: int,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate_per_s = rate_per_s
+        self.capacity = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._refilled_at = clock()
+        self._lock = threading.Lock()
+
+    def try_take(self, n: int = 1) -> bool:
+        """Take ``n`` tokens if available; False (no debt) otherwise."""
+        if self.rate_per_s is None:
+            return True
+        with self._lock:
+            now = self._clock()
+            elapsed = now - self._refilled_at
+            if elapsed > 0:
+                self._tokens = min(self.capacity, self._tokens + elapsed * self.rate_per_s)
+                self._refilled_at = now
+            if self._tokens >= n:
+                self._tokens -= n
+                return True
+            return False
+
+    @property
+    def tokens(self) -> float:
+        """Current (un-refilled) token count — diagnostics only."""
+        return self.capacity if self.rate_per_s is None else self._tokens
+
+
+class AdmissionController:
+    """Runtime enforcement of an :class:`AdmissionPolicy`.
+
+    One controller may be shared by several batchers (the
+    :class:`~repro.serve.fleet.FleetServer` shares one across all its
+    per-model queues, so a tenant's quota spans the whole fleet).
+    Thread-safe; per-tenant buckets are created lazily on first sight.
+    """
+
+    def __init__(
+        self,
+        policy: AdmissionPolicy | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.policy = policy or AdmissionPolicy()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: dict[str, TokenBucket] = {}
+        self.admitted: dict[str, int] = {}
+        self.rejected: dict[str, int] = {}
+        # obs handles cached per tenant (labels are dynamic).
+        self._obs: dict[str, tuple] = {}
+
+    def _tenant_state(self, tenant: str) -> tuple[TokenBucket, tuple]:
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                quota = self.policy.quota_for(tenant)
+                bucket = TokenBucket(quota.rate_per_s, quota.burst, clock=self._clock)
+                self._buckets[tenant] = bucket
+                self.admitted[tenant] = 0
+                self.rejected[tenant] = 0
+                self._obs[tenant] = (
+                    obs.counter("repro_serve_admitted_total", tenant=tenant),
+                    obs.counter("repro_serve_admission_rejected_total", tenant=tenant),
+                )
+            return bucket, self._obs[tenant]
+
+    def admit(self, tenant: str) -> None:
+        """Charge one request to ``tenant``; raises :class:`TenantOverloaded`."""
+        bucket, (admitted_c, rejected_c) = self._tenant_state(tenant)
+        if bucket.try_take():
+            with self._lock:
+                self.admitted[tenant] += 1
+            admitted_c.inc()
+            return
+        with self._lock:
+            self.rejected[tenant] += 1
+        rejected_c.inc()
+        raise TenantOverloaded(
+            f"tenant {tenant!r} is over its admission quota "
+            f"({bucket.rate_per_s}/s, burst {int(bucket.capacity)}); back off and retry"
+        )
+
+    def priority_for(self, tenant: str) -> int:
+        """The tenant's default priority class."""
+        return self.policy.quota_for(tenant).priority
+
+    def stats(self) -> dict:
+        """Per-tenant admitted/rejected counts (JSON-ready)."""
+        with self._lock:
+            return {
+                "admitted": dict(self.admitted),
+                "rejected": dict(self.rejected),
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"AdmissionController(tenants={len(self._buckets)}, "
+                f"admitted={sum(self.admitted.values())}, "
+                f"rejected={sum(self.rejected.values())})")

@@ -104,6 +104,16 @@ class BatchPolicy:
         """A copy with the given fields replaced (validation re-runs)."""
         return replace(self, **kw)
 
+    def as_dict(self) -> dict:
+        """JSON-ready view (benchmark payloads, ServeConfig.as_dict)."""
+        return {
+            "max_batch_size": self.max_batch_size,
+            "max_queue_delay_ms": self.max_queue_delay_ms,
+            "max_queue_depth": self.max_queue_depth,
+            "replicas": self.replicas,
+            "worker_mode": self.worker_mode,
+        }
+
 
 def clamp_replicas(replicas: int, cpus: int | None = None) -> int:
     """Clamp a replica request to the usable core count, warning loudly.

@@ -5,18 +5,30 @@ throughput-oriented inference server over one compiled model:
 
 .. code-block:: text
 
-    submit(img) ──► MicroBatcher (bounded FIFO, deadline flush)
+    submit(img) ──► MicroBatcher (priority/FIFO, deadline flush,
+                        │          per-tenant admission)
                         │ batches (≤ max_batch_size)
           worker 0 ◄────┼────► worker N-1          (policy.replicas)
                         │
                  PlanCache.acquire(fingerprint, bucket)
                         │  pad → InferencePlan.run → slice
-                 future.set_result(row)
+                 future.set_result(row | ServeResponse)
 
 Each worker owns whatever replica it checked out for the batch's
 bucket, so plans are never shared between threads
 (:class:`~repro.deploy.ConcurrentPlanError` guards direct misuse) and
 the weights exist once regardless of replica count.
+
+Construction takes one :class:`~repro.serve.ServeConfig`; the legacy
+``PlanServer(plan, policy=..., warm=..., cpus=...)`` spelling keeps
+working through a deprecation shim that ticks the
+``repro_serve_deprecated_api_total`` obs counter instead of spamming
+warnings.  The canonical request object is
+:class:`~repro.serve.ServeRequest` via :meth:`PlanServer.submit_request`;
+``submit(ndarray)``/``infer`` remain as documented thin adapters.
+
+For multi-model routing over a shared cache, see
+:class:`repro.serve.FleetServer`.
 """
 
 from __future__ import annotations
@@ -30,8 +42,10 @@ import numpy as np
 import repro.obs as obs
 
 from repro.deploy.plan import InferencePlan
-from repro.serve.batcher import MicroBatcher, Request
+from repro.serve.admission import AdmissionController
+from repro.serve.batcher import MicroBatcher, Request, ServeRequest, complete_batch
 from repro.serve.cache import PlanCache
+from repro.serve.config import ServeConfig
 from repro.serve.policy import BatchPolicy, clamp_replicas
 from repro.serve.workers import WorkerPool
 
@@ -43,6 +57,7 @@ _BATCHES = obs.counter("repro_serve_batches_total")
 _BATCH_SIZE = obs.histogram("repro_serve_batch_size")
 _QUEUE_WAIT = obs.histogram("repro_serve_queue_wait_seconds")
 _E2E = obs.histogram("repro_serve_e2e_latency_seconds")
+_DEPRECATED = obs.counter("repro_serve_deprecated_api_total", api="PlanServer.__init__")
 
 
 class PlanServer:
@@ -53,20 +68,17 @@ class PlanServer:
     plan:
         The compiled template (:func:`repro.deploy.compile_plan` /
         :meth:`OnnxliteRuntime.compile`); replicas are stamped from it.
-    policy:
-        Batching knobs (see :class:`~repro.serve.BatchPolicy`; consider
-        :func:`~repro.serve.suggest_batch_policy` to seed them from the
-        device latency predictors).
-    warm:
-        Pre-build and pre-run one replica per (worker, bucket) so the
-        steady state performs zero arena allocations from the first
-        request (the default; disable for tests that count misses).
-        In process mode workers always warm their own arenas; the
-        parent-side cache stays cold unless the pool degrades.
-    cpus:
-        Usable core count override for replica clamping (defaults to
-        :func:`repro.parallel.available_cpus`; see
-        :func:`~repro.serve.clamp_replicas`).
+    config:
+        The consolidated :class:`~repro.serve.ServeConfig` — batching
+        policy, warm, CPU budget, and optional per-tenant admission.
+        The server stores the *effective* config (after replica
+        clamping) as ``self.config``.
+    policy, warm, cpus:
+        Deprecated constructor spelling, kept as a shim: equivalent to
+        ``config=ServeConfig(policy=..., warm=..., cpus=...)``.  Each
+        use ticks the ``repro_serve_deprecated_api_total`` obs counter
+        (label ``api="PlanServer.__init__"``).  Mixing them with
+        ``config=`` raises ``ValueError``.
 
     ``policy.worker_mode="process"`` swaps the execution backend: the
     same dispatcher threads pull batches, but each batch ships to a
@@ -83,22 +95,44 @@ class PlanServer:
         self,
         plan: InferencePlan,
         policy: BatchPolicy | None = None,
-        warm: bool = True,
+        warm: bool | None = None,
         cpus: int | None = None,
+        *,
+        config: ServeConfig | None = None,
     ) -> None:
-        policy = policy or BatchPolicy()
+        legacy = policy is not None or warm is not None or cpus is not None
+        if config is not None and legacy:
+            raise ValueError(
+                "pass either config=ServeConfig(...) or the legacy "
+                "policy/warm/cpus arguments, not both"
+            )
+        if config is None:
+            if legacy:
+                _DEPRECATED.inc()
+            config = ServeConfig(
+                policy=policy or BatchPolicy(),
+                warm=True if warm is None else warm,
+                cpus=cpus,
+            )
         # Oversubscription never adds throughput; clamp (with an obs
         # warning) rather than silently time-slicing cores.  ``cpus``
         # overrides detection for deterministic tests.
-        effective = clamp_replicas(policy.replicas, cpus=cpus)
-        if effective != policy.replicas:
-            policy = policy.with_overrides(replicas=effective)
-        self.policy = policy
+        effective = clamp_replicas(config.policy.replicas, cpus=config.cpus)
+        if effective != config.policy.replicas:
+            config = config.with_overrides(
+                policy=config.policy.with_overrides(replicas=effective)
+            )
+        self.config = config
+        self.policy = config.policy
         self.plan = plan
+        self.admission = (
+            AdmissionController(config.admission) if config.admission else None
+        )
         self.batcher = MicroBatcher(
             max_batch_size=self.policy.max_batch_size,
             max_queue_delay_ms=self.policy.max_queue_delay_ms,
             max_queue_depth=self.policy.max_queue_depth,
+            admission=self.admission,
         )
         self.cache = PlanCache(max_batch_size=self.policy.max_batch_size)
         self.fingerprint = self.cache.register(plan)
@@ -118,7 +152,7 @@ class PlanServer:
                 workers=self.policy.replicas,
                 max_batch_size=self.policy.max_batch_size,
             )
-        elif warm:
+        elif config.warm:
             self.cache.warm(self.fingerprint, replicas=self.policy.replicas)
         self._workers = [
             threading.Thread(
@@ -131,13 +165,7 @@ class PlanServer:
 
     # -- request path ----------------------------------------------------------
 
-    def submit(self, x: np.ndarray) -> Future:
-        """Queue one image; returns a future of its logits row.
-
-        Accepts ``(C, H, W)`` or ``(1, C, H, W)`` float-convertible
-        arrays matching the plan's compiled spatial shape.  Raises
-        :class:`~repro.serve.ServerOverloaded` under backpressure.
-        """
+    def _validate_image(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float32)
         if x.ndim == 4 and x.shape[0] == 1:
             x = x[0]
@@ -145,10 +173,37 @@ class PlanServer:
             raise ValueError(
                 f"expected one image of shape {self._input_shape}, got {x.shape}"
             )
-        return self.batcher.submit(x)
+        return x
+
+    def submit(self, x: np.ndarray) -> Future:
+        """Queue one image; returns a future of its logits row.
+
+        Thin adapter over the :class:`~repro.serve.ServeRequest` path —
+        equivalent to ``submit_request(ServeRequest(image=x))`` except
+        the future resolves to the bare row (the pre-request-object
+        contract).  Accepts ``(C, H, W)`` or ``(1, C, H, W)``
+        float-convertible arrays matching the plan's compiled spatial
+        shape.  Raises :class:`~repro.serve.ServerOverloaded` under
+        backpressure.
+        """
+        return self.batcher.submit(self._validate_image(x))
+
+    def submit_request(self, request: ServeRequest) -> Future:
+        """Queue one :class:`~repro.serve.ServeRequest`.
+
+        The future resolves to a :class:`~repro.serve.ServeResponse`
+        with queue/exec timings and SLO attainment; ``deadline_ms``
+        expiry fails it fast with
+        :class:`~repro.serve.DeadlineExceeded`.  Model hints and
+        budgets are accepted but ignored here — a single-model server
+        has nothing to route; use :class:`repro.serve.FleetServer` for
+        that.
+        """
+        request.image = self._validate_image(request.image)
+        return self.batcher.submit_request(request, wants_response=True)
 
     def infer(self, x: np.ndarray) -> np.ndarray:
-        """Synchronous convenience: submit one image and wait."""
+        """Synchronous convenience adapter: submit one image and wait."""
         return self.submit(x).result()
 
     # -- worker loop -----------------------------------------------------------
@@ -188,12 +243,12 @@ class PlanServer:
         _BATCHES.inc()
         _SERVED.inc(n)
         _BATCH_SIZE.observe(n)
-        for i, r in enumerate(batch):
+        for r in batch:
             _QUEUE_WAIT.observe(started - r.enqueued_at)
             _E2E.observe(done - r.enqueued_at)
-            # Each future gets an independent copy so callers can't
-            # alias each other through the shared output block.
-            r.future.set_result(out[i].copy())
+        # Each future gets an independent copy so callers can't alias
+        # each other through the shared output block.
+        complete_batch(batch, out, model=self.plan.name, started=started, finished=done)
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -231,6 +286,7 @@ class PlanServer:
         out = {
             "submitted": self.batcher.submitted,
             "rejected": self.batcher.rejected,
+            "expired": self.batcher.expired,
             "batches_executed": self.batches_executed,
             "worker_mode": self.policy.worker_mode,
             **self.cache.stats(),

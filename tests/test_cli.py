@@ -171,3 +171,68 @@ class TestCommands:
         ])
         assert code == 0
         assert "policy seeded from latency predictors" in capsys.readouterr().out
+
+    def test_serve_bench_dotted_policy_flags_alias_old_spellings(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        dotted = parser.parse_args([
+            "serve-bench", "--policy.max-batch-size", "4",
+            "--policy.max-queue-delay-ms", "2", "--policy.max-queue-depth", "32",
+            "--policy.replicas", "2", "--policy.worker-mode", "thread",
+            "--policy.workers", "0",
+        ])
+        legacy = parser.parse_args([
+            "serve-bench", "--max-batch", "4", "--max-delay-ms", "2",
+            "--queue-depth", "32", "--replicas", "2", "--worker-mode", "thread",
+            "--workers", "0",
+        ])
+        for dest in ("max_batch", "max_delay_ms", "queue_depth", "replicas",
+                     "worker_mode", "workers"):
+            assert getattr(dotted, dest) == getattr(legacy, dest)
+
+    def test_serve_bench_json_records_resolved_serve_config(self, tmp_path):
+        out = tmp_path / "serving.json"
+        code = main([
+            "serve-bench", "--size", "24", "--duration", "0.3", "--clients", "4",
+            "--policy.max-batch-size", "4", "--policy.max-queue-delay-ms", "2",
+            "--policy.max-queue-depth", "32",
+            "--json", str(out),
+            "--kernel-size", "3", "--padding", "1", "--pool-choice", "0",
+            "--initial-output-feature", "32",
+        ])
+        assert code == 0
+        import json
+        payload = json.loads(out.read_text())
+        resolved = payload["extra_info"]["serve_config"]
+        assert resolved["policy"]["max_batch_size"] == 4
+        assert resolved["policy"]["max_queue_depth"] == 32
+        assert resolved["warm"] is True
+        assert resolved["admission"] is None
+
+    def test_serve_bench_fleet_scenario_json(self, tmp_path, capsys):
+        out = tmp_path / "serving_fleet.json"
+        code = main([
+            "serve-bench", "--fleet", "3", "--size", "24", "--duration", "0.8",
+            "--clients", "8", "--policy.max-batch-size", "4",
+            "--policy.max-queue-delay-ms", "2", "--policy.max-queue-depth", "64",
+            "--assert-slo", "0.5", "--json", str(out),
+            "--kernel-size", "3", "--padding", "1", "--pool-choice", "0",
+            "--initial-output-feature", "32",
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "registered pareto-s" in text
+        assert "SLO assertion passed" in text
+        import json
+        payload = json.loads(out.read_text())
+        assert set(payload["models"]) == {"pareto-s", "pareto-m", "pareto-l"}
+        assert payload["fleet"]["served"] > 0
+        assert payload["fleet"]["errors"] == 0
+        assert payload["all_routes_fit_budget"] is True
+        assert payload["slo_attainment"] >= 0.5
+        # Every tenant's traffic was routed somewhere on the ladder.
+        assert sum(payload["fleet"]["per_model"].values()) == payload["fleet"]["served"]
+        resolved = payload["extra_info"]["serve_config"]
+        assert resolved["admission"]["tenants"]["interactive"]["priority"] == 1
+        assert resolved["autoscaler"]["max_replicas"] >= 1
